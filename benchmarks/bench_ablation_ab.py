@@ -1,0 +1,65 @@
+"""ABL — ablation over the (1, b) break-threshold family.
+
+DESIGN.md calls out RWW's central design choice: break after exactly two
+consecutive writes.  This ablation sweeps b in the (1, b) family across
+workload mixes and reports both raw message cost and the worst-case
+adversarial ratio, showing why b = 2 is the sweet spot: smaller b
+over-reacts to write bursts (re-pull storms), larger b overpays updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ABPolicy, AggregationSystem, two_node_tree
+from repro.offline import offline_lease_lower_bound
+from repro.tree import binary_tree
+from repro.util import format_table
+from repro.workloads import adv_sequence, uniform_workload
+from repro.workloads.requests import copy_sequence
+
+BS = (1, 2, 3, 4, 6)
+LENGTH = 800
+
+
+def run_ablation():
+    tree = binary_tree(3)
+    rows = []
+    for b in BS:
+        costs = {}
+        for rr in (0.2, 0.5, 0.8):
+            wl = uniform_workload(tree.n, LENGTH, read_ratio=rr, seed=31)
+            system = AggregationSystem(tree, policy_factory=lambda b=b: ABPolicy(1, b))
+            costs[rr] = system.run(copy_sequence(wl)).total_messages
+        # Worst adversarial ratio over this policy's own adversary.
+        pair = two_node_tree()
+        adv = adv_sequence(1, b, rounds=300)
+        system = AggregationSystem(pair, policy_factory=lambda b=b: ABPolicy(1, b))
+        adv_cost = system.run(copy_sequence(adv)).total_messages
+        adv_ratio = adv_cost / offline_lease_lower_bound(pair, adv)
+        rows.append((b, costs[0.2], costs[0.5], costs[0.8], adv_ratio))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_break_threshold(benchmark, emit):
+    tree = binary_tree(3)
+    wl = uniform_workload(tree.n, LENGTH, read_ratio=0.5, seed=31)
+    benchmark(
+        lambda: AggregationSystem(tree, policy_factory=lambda: ABPolicy(1, 2)).run(
+            copy_sequence(wl)
+        ).total_messages
+    )
+    rows = run_ablation()
+    ratios = {b: r[-1] for b, r in zip(BS, [row[1:] for row in rows])}
+    # b = 2 (RWW) minimizes the adversarial ratio within the family.
+    assert min(ratios, key=ratios.get) == 2
+    text = format_table(
+        ["b", "cost r=0.2", "cost r=0.5", "cost r=0.8", "adversarial ratio"],
+        rows,
+        title=(
+            "ABL — (1, b) family: messages on mixed workloads (15-node binary "
+            "tree) and worst-case ratio on ADV(1, b); b = 2 is RWW:"
+        ),
+    )
+    emit("ablation_ab", text)

@@ -1,0 +1,68 @@
+"""EXT-GAP — how tight is the per-edge relaxation? (extension)
+
+The paper's OPT comparator relaxes Lemma 3.2's closure (a grant needs all
+upstream grants).  This bench computes the *exact* closure-constrained
+offline optimum by DP over legal lease configurations on small trees and
+compares it with the per-edge bound.
+
+Measured finding: the gap is **1.000 on every sampled instance** — the
+relaxation is empirically exact.  The structural reason: for a directed
+edge (u, v) and any upstream edge (w, u) it requires, σ(w, u)'s write set
+is a subset of σ(u, v)'s while its combine set is a superset, so whenever
+leasing (u, v) pays, leasing (w, u) pays at least as much and the closure
+never binds.  (Property-tested across seeds in tests/test_global_dp.py.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregationSystem, path_tree, star_tree, two_node_tree
+from repro.offline.global_dp import relaxation_gap
+from repro.util import format_table
+from repro.workloads import adv_sequence, uniform_workload
+from repro.workloads.requests import copy_sequence
+
+TOPOLOGIES = {
+    "pair": two_node_tree(),
+    "path3": path_tree(3),
+    "path4": path_tree(4),
+    "path5": path_tree(5),
+    "star4": star_tree(4),
+    "star5": star_tree(5),
+}
+
+
+def run_table():
+    rows = []
+    for name, tree in TOPOLOGIES.items():
+        for read_ratio in (0.3, 0.5, 0.7):
+            wl = uniform_workload(tree.n, 25, read_ratio=read_ratio, seed=13)
+            relaxed, exact, gap = relaxation_gap(tree, wl)
+            rww = AggregationSystem(tree).run(copy_sequence(wl)).total_messages
+            rows.append((name, read_ratio, relaxed, exact, gap, rww / exact))
+    wl = adv_sequence(1, 2, rounds=10)
+    relaxed, exact, gap = relaxation_gap(two_node_tree(), wl)
+    rww = AggregationSystem(two_node_tree()).run(copy_sequence(wl)).total_messages
+    rows.append(("pair/ADV", "-", relaxed, exact, gap, rww / exact))
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-gap")
+def test_relaxation_gap(benchmark, emit):
+    tree = path_tree(5)
+    wl = uniform_workload(tree.n, 25, read_ratio=0.5, seed=13)
+    benchmark(lambda: relaxation_gap(tree, wl))
+    rows = run_table()
+    assert all(r[4] == 1.0 for r in rows), "a binding closure instance appeared"
+    assert all(r[5] <= 2.5 + 1e-9 for r in rows)
+    text = format_table(
+        ["topology", "read ratio", "per-edge bound", "constrained OPT",
+         "gap", "RWW / OPT"],
+        rows,
+        title=(
+            "EXT-GAP — per-edge relaxation vs exact closure-constrained "
+            "offline OPT (gap 1.0 everywhere: the relaxation is tight):"
+        ),
+    )
+    emit("ext_gap", text)

@@ -1,0 +1,107 @@
+"""EXT-LATENCY — combine latency under the concurrent engine (extension).
+
+The paper's cost metric is message count; a deployment also cares how long
+a combine *waits*.  Leases buy latency: a warm combine answers locally
+(zero network round trips) while a cold one pays a probe/response wave to
+the deepest unleased frontier.  This bench measures completion-time
+distributions over the DES (unit-latency FIFO links, Poisson arrivals)
+for RWW and the two static extremes inside the mechanism.
+
+Expected shape: NeverLease pays the full pull on *every* read (worst
+latency, best write cost); AlwaysLease answers every warm read instantly;
+RWW sits near AlwaysLease on read-heavy mixes and degrades gracefully as
+writes increase.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    AlwaysLeasePolicy,
+    ConcurrentAggregationSystem,
+    NeverLeasePolicy,
+    RWWPolicy,
+    ScheduledRequest,
+    binary_tree,
+)
+from repro.sim.channel import constant_latency
+from repro.util import format_table
+from repro.workloads import uniform_workload
+from repro.workloads.requests import copy_sequence
+
+POLICIES = [("RWW", RWWPolicy), ("AlwaysLease", AlwaysLeasePolicy),
+            ("NeverLease", NeverLeasePolicy)]
+
+
+def combine_latencies(policy, read_ratio, seed=0):
+    tree = binary_tree(3)
+    wl = uniform_workload(tree.n, 300, read_ratio=read_ratio, seed=seed)
+    rng = random.Random(seed + 1)
+    t, sched = 0.0, []
+    for q in copy_sequence(wl):
+        t += rng.expovariate(0.05)  # sparse enough to keep runs quiescent-ish
+        sched.append(ScheduledRequest(time=t, request=q))
+    system = ConcurrentAggregationSystem(
+        tree, policy_factory=policy, latency=constant_latency(1.0), ghost=False
+    )
+    result = system.run(sched)
+    lats = sorted(
+        q.completed_at - q.initiated_at
+        for q in result.requests
+        if q.op == "combine"
+    )
+    return lats, result.total_messages
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return float("nan")
+    idx = min(int(p * len(sorted_vals)), len(sorted_vals) - 1)
+    return sorted_vals[idx]
+
+
+def run_table():
+    rows = []
+    for read_ratio in (0.2, 0.5, 0.9):
+        for name, policy in POLICIES:
+            lats, msgs = combine_latencies(policy, read_ratio)
+            rows.append(
+                (
+                    read_ratio,
+                    name,
+                    sum(lats) / len(lats),
+                    percentile(lats, 0.5),
+                    percentile(lats, 0.99),
+                    msgs,
+                )
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-latency")
+def test_combine_latency(benchmark, emit):
+    benchmark.pedantic(lambda: combine_latencies(RWWPolicy, 0.5), rounds=3, iterations=1)
+    rows = run_table()
+
+    def mean_of(name, rr):
+        return next(r[2] for r in rows if r[0] == rr and r[1] == name)
+
+    # Read-heavy: leased policies answer (near-)locally, pull-always pays
+    # the full wave every time.
+    assert mean_of("RWW", 0.9) < mean_of("NeverLease", 0.9) / 2
+    assert mean_of("AlwaysLease", 0.9) <= mean_of("RWW", 0.9) + 0.5
+    # Write-heavy: RWW sheds leases, so its combine latency approaches the
+    # pull cost — but never exceeds NeverLease's.
+    assert mean_of("RWW", 0.2) <= mean_of("NeverLease", 0.2) + 0.5
+    text = format_table(
+        ["read ratio", "policy", "mean latency", "p50", "p99", "messages"],
+        rows,
+        title=(
+            "EXT-LATENCY — combine completion times (unit-latency links, "
+            "15-node binary tree, 300 requests):"
+        ),
+    )
+    emit("ext_latency", text)

@@ -1,0 +1,56 @@
+"""EXT-MODEL — analytic expected-cost model vs the simulator (extension).
+
+Per-policy Markov chains over the per-edge token distributions give a
+closed-form expected steady-state message cost per request
+(:mod:`repro.analysis.expected`).  This bench tabulates model vs simulation
+across topologies and read ratios — agreement within a few percent means
+capacity planning needs no simulation at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregationSystem, binary_tree, path_tree, star_tree
+from repro.analysis.expected import expected_cost_per_request, predict_total
+from repro.util import format_table
+from repro.workloads import uniform_workload
+from repro.workloads.requests import copy_sequence
+
+LENGTH = 6000
+TOPOLOGIES = {
+    "path6": path_tree(6),
+    "star8": star_tree(8),
+    "binary15": binary_tree(3),
+}
+
+
+def run_table():
+    rows = []
+    for name, tree in TOPOLOGIES.items():
+        for rr in (0.3, 0.5, 0.8):
+            predicted = predict_total(tree, rr, LENGTH)
+            wl = uniform_workload(tree.n, LENGTH, read_ratio=rr, seed=11)
+            simulated = AggregationSystem(tree).run(copy_sequence(wl)).total_messages
+            rows.append(
+                (name, rr, predicted / LENGTH, simulated / LENGTH,
+                 abs(simulated - predicted) / simulated * 100.0)
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-model")
+def test_expected_cost_model(benchmark, emit):
+    tree = TOPOLOGIES["binary15"]
+    benchmark(lambda: expected_cost_per_request(tree, 0.5))
+    rows = run_table()
+    assert all(r[-1] < 5.0 for r in rows), "model drifted beyond 5% of simulation"
+    text = format_table(
+        ["topology", "read ratio", "model msgs/req", "simulated msgs/req", "error %"],
+        rows,
+        title=(
+            f"EXT-MODEL — Markov-chain expected cost vs simulation "
+            f"({LENGTH} requests per cell):"
+        ),
+    )
+    emit("ext_model", text)

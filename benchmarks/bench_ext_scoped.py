@@ -1,0 +1,65 @@
+"""EXT-SCOPED — scoped (subtree) reads vs global combines (extension).
+
+SDIMS-style partial reads: a scoped combine aggregates one neighbor's
+subtree only, served from the cached ``aval`` under a lease (0 messages) or
+by a probe wave confined to that subtree.  This bench tabulates the cold
+cost against the subtree size and the warm cost (always 0), next to the
+global combine's full-tree pull — the point being that read cost scales
+with the *queried* region, not the tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregationSystem, balanced_kary_tree
+from repro.util import format_table
+from repro.workloads import combine
+from repro.workloads.requests import scoped_combine
+
+TREE = balanced_kary_tree(3, 3)  # 40 nodes, root 0 with children 1..3
+
+
+def run_table():
+    rows = []
+    # Global combine at the root, cold.
+    system = AggregationSystem(TREE)
+    before = system.stats.total
+    system.execute(combine(0))
+    rows.append(("global combine @ root", TREE.n - 1, system.stats.total - before, 0))
+    # Scoped reads of each depth's subtree, cold then warm.
+    for toward, label in [(1, "child subtree (13 nodes)"),
+                          (4, "grandchild subtree (4 nodes)")]:
+        system = AggregationSystem(TREE)
+        node = TREE.parent_towards(0, toward)
+        before = system.stats.total
+        system.execute(scoped_combine(node, toward=toward))
+        cold = system.stats.total - before
+        before = system.stats.total
+        system.execute(scoped_combine(node, toward=toward))
+        warm = system.stats.total - before
+        rows.append((f"scoped read of {label}", len(TREE.subtree(toward, node)), cold, warm))
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-scoped")
+def test_scoped_read_costs(benchmark, emit):
+    def one_cold_scoped():
+        system = AggregationSystem(TREE)
+        system.execute(scoped_combine(0, toward=1))
+        return system.stats.total
+
+    benchmark(one_cold_scoped)
+    rows = run_table()
+    # Cold scoped cost = 2 messages per subtree member (probe+response per
+    # edge into the region, including the entry edge); warm cost = 0.
+    for label, size, cold, warm in rows[1:]:
+        assert cold == 2 * size
+        assert warm == 0
+    assert rows[0][2] == 2 * (TREE.n - 1)
+    text = format_table(
+        ["operation", "queried nodes", "cold messages", "warm messages"],
+        rows,
+        title="EXT-SCOPED — read cost scales with the queried region (40-node 3-ary tree):",
+    )
+    emit("ext_scoped", text)

@@ -1,0 +1,110 @@
+"""LEM33/35 — microbenchmarks of the mechanism's primitive operations.
+
+Times the three request classes whose message counts the lemmas pin down:
+cold combines (Lemma 3.3: |A| probes + |A| responses), warm combines (0
+messages), and leased writes (Lemma 3.5: |A| updates), plus the offline DP
+and projection machinery the comparators rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregationSystem, binary_tree
+from repro.offline import edge_dp_cost, project_all_edges
+from repro.workloads import combine, uniform_workload, write
+from repro.workloads.requests import copy_sequence
+
+TREE = binary_tree(4)  # 31 nodes
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_cold_combine(benchmark):
+    def run():
+        system = AggregationSystem(TREE)
+        system.execute(combine(0))
+        return system.stats.total
+
+    total = benchmark(run)
+    assert total == 2 * (TREE.n - 1)
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_warm_combine(benchmark):
+    system = AggregationSystem(TREE)
+    system.execute(combine(0))
+
+    def run():
+        before = system.stats.total
+        system.execute(combine(0))
+        return system.stats.total - before
+
+    extra = benchmark(run)
+    assert extra == 0
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_leased_write(benchmark):
+    system = AggregationSystem(TREE)
+    system.execute(combine(0))
+    counter = iter(range(10**9))
+
+    def run():
+        # Alternate a combine to refresh leases so every write is leased.
+        system.execute(combine(0))
+        before = system.stats.total
+        system.execute(write(TREE.n - 1, float(next(counter))))
+        return system.stats.total - before
+
+    cost = benchmark(run)
+    assert cost == TREE.distance(0, TREE.n - 1)
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_cold_scoped_combine(benchmark):
+    from repro.workloads.requests import scoped_combine
+
+    # Scoped read into one child subtree of the root: half the tree.
+    def run():
+        system = AggregationSystem(TREE)
+        system.execute(scoped_combine(0, toward=1))
+        return system.stats.total
+
+    total = benchmark(run)
+    sub = len(TREE.subtree(1, 0))
+    assert total == 2 * sub  # probe/response per subtree edge + entry edge
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_warm_scoped_combine(benchmark):
+    from repro.workloads.requests import scoped_combine
+
+    system = AggregationSystem(TREE)
+    system.execute(scoped_combine(0, toward=1))
+
+    def run():
+        before = system.stats.total
+        system.execute(scoped_combine(0, toward=1))
+        return system.stats.total - before
+
+    extra = benchmark(run)
+    assert extra == 0
+
+
+@pytest.mark.benchmark(group="offline")
+def test_projection_throughput(benchmark):
+    wl = uniform_workload(TREE.n, 500, read_ratio=0.5, seed=1)
+    projections = benchmark(lambda: project_all_edges(TREE, wl))
+    assert len(projections) == 2 * (TREE.n - 1)
+
+
+@pytest.mark.benchmark(group="offline")
+def test_edge_dp_throughput(benchmark):
+    wl = uniform_workload(TREE.n, 500, read_ratio=0.5, seed=1)
+    projections = project_all_edges(TREE, wl)
+
+    def run():
+        return sum(edge_dp_cost(toks).cost for toks in projections.values())
+
+    total = benchmark(run)
+    assert total > 0

@@ -1,0 +1,76 @@
+"""SCALE — message and wall-time scaling with tree size.
+
+Not a paper table (the paper has no testbed), but the natural systems
+question a release must answer: how do RWW's message counts and the
+simulator's throughput scale with n across topology families?  Message
+counts per request should grow with the pull/push span (diameter for paths,
+O(1)-ish amortized for stars), and the simulator should stay comfortably
+laptop-scale at hundreds of nodes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import AggregationSystem, balanced_kary_tree, path_tree, star_tree
+from repro.util import format_table
+from repro.workloads import uniform_workload
+from repro.workloads.requests import copy_sequence
+
+SIZES = (7, 15, 31, 63, 127, 255)
+LENGTH = 300
+
+
+def topo(kind, n):
+    if kind == "path":
+        return path_tree(n)
+    if kind == "star":
+        return star_tree(n)
+    if kind == "binary":
+        import math
+
+        depth = int(math.log2(n + 1)) - 1
+        return balanced_kary_tree(2, depth)
+    raise ValueError(kind)
+
+
+def run_scaling():
+    rows = []
+    for kind in ("path", "star", "binary"):
+        for n in SIZES:
+            tree = topo(kind, n)
+            wl = uniform_workload(tree.n, LENGTH, read_ratio=0.5, seed=41)
+            system = AggregationSystem(tree)
+            t0 = time.perf_counter()
+            result = system.run(copy_sequence(wl))
+            dt = time.perf_counter() - t0
+            rows.append(
+                (kind, tree.n, result.total_messages,
+                 result.total_messages / LENGTH, LENGTH / dt)
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="scale")
+@pytest.mark.parametrize("n", [15, 63, 255])
+def test_scalability_run(benchmark, n):
+    tree = topo("binary", n)
+    wl = uniform_workload(tree.n, LENGTH, read_ratio=0.5, seed=41)
+    benchmark(lambda: AggregationSystem(tree).run(copy_sequence(wl)).total_messages)
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scalability_table(benchmark, emit):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    # Sanity: message cost grows with n for every family.
+    for kind in ("path", "star", "binary"):
+        series = [r[2] for r in rows if r[0] == kind]
+        assert series == sorted(series)
+    text = format_table(
+        ["topology", "n", "messages", "msgs/request", "requests/sec"],
+        rows,
+        title=f"SCALE — RWW message and throughput scaling ({LENGTH} requests, r=0.5):",
+    )
+    emit("scalability", text)

@@ -1,0 +1,55 @@
+"""THM2 — RWW is 5-competitive vs any nice (strictly consistent) algorithm.
+
+Compares RWW against the epoch-counting lower bound on NOPT (Theorem 2's
+proof object).  The bound is asymptotic — each ordered edge's final partial
+epoch adds O(1) uncounted cost — so the sweep reports both the raw ratio on
+long sequences (should settle ≤ 5) and the additive-form check
+``C_RWW ≤ 5·nice + 5·2(n−1)`` which must hold on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregationSystem
+from repro.offline import nice_lower_bound
+from repro.tree.generators import standard_topologies
+from repro.util import format_table
+from repro.workloads import uniform_workload
+from repro.workloads.requests import copy_sequence
+
+LENGTH = 2000
+
+
+def run_sweep():
+    rows = []
+    for name, tree in sorted(standard_topologies(15, seed=3).items()):
+        for read_ratio in (0.3, 0.5, 0.7):
+            wl = uniform_workload(tree.n, LENGTH, read_ratio=read_ratio, seed=11)
+            cost = AggregationSystem(tree).run(copy_sequence(wl)).total_messages
+            nice = nice_lower_bound(tree, wl)
+            slack = 5 * 2 * (tree.n - 1)
+            ratio = cost / nice if nice else float("inf")
+            rows.append(
+                (name, tree.n, read_ratio, cost, nice, ratio, cost <= 5 * nice + slack)
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="thm2")
+def test_thm2_nice_sweep(benchmark, emit):
+    tree = standard_topologies(15, seed=3)["path"]
+    wl = uniform_workload(tree.n, LENGTH, read_ratio=0.5, seed=11)
+    benchmark(lambda: nice_lower_bound(tree, wl))
+    rows = run_sweep()
+    assert all(r[-1] for r in rows), "additive Theorem-2 bound violated"
+    worst = max(r[5] for r in rows)
+    text = format_table(
+        ["topology", "n", "read ratio", "C_RWW", "nice bound", "ratio", "<=5·nice+slack"],
+        rows,
+        title=(
+            "Theorem 2 — RWW vs nice-algorithm lower bound "
+            f"(asymptotic bound: 5; worst raw ratio at length {LENGTH}: {worst:.3f}):"
+        ),
+    )
+    emit("thm2_nice", text)

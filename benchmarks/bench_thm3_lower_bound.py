@@ -1,0 +1,76 @@
+"""THM3 — every (a, b)-algorithm is at least 5/2-competitive.
+
+Runs two adversaries on the two-node tree against each (a, b)-algorithm:
+
+* **ADV(a, b)** — the paper's proof-sketch pattern: ``a`` combines at one
+  node then ``b`` writes at the other, repeated.  Forced ratio
+  ``(2a + b + 1) / min(2a, b)``.
+* **ADV+N(a, b)** — strengthened with one reader-side write per round (a
+  Figure-2 noop for the attacked edge direction), handing the offline
+  algorithm a cost-1 break.  Forced ratio ``(2a + b + 1) / min(2a, b, 3)``.
+
+The plain pattern alone does **not** prove the theorem — at (a, b) = (2, 4)
+it forces only 9/4 < 5/2 — but the strengthened adversary forces >= 5/2 for
+every (a, b), with equality exactly at RWW = (1, 2).  (Reproduction note
+recorded in EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ABPolicy, AggregationSystem, two_node_tree
+from repro.offline import offline_lease_lower_bound
+from repro.util import format_table
+from repro.workloads import adv_sequence, adv_sequence_strong
+from repro.workloads.requests import copy_sequence
+
+ROUNDS = 300
+GRID = [(a, b) for a in (1, 2, 3, 4) for b in (1, 2, 3, 4)]
+
+
+def measure(a, b, workload):
+    tree = two_node_tree()
+    system = AggregationSystem(tree, policy_factory=lambda: ABPolicy(a, b))
+    cost = system.run(copy_sequence(workload)).total_messages
+    opt = offline_lease_lower_bound(tree, workload)
+    return cost, opt, cost / opt
+
+
+def run_grid():
+    rows = []
+    for a, b in GRID:
+        _, _, plain = measure(a, b, adv_sequence(a, b, rounds=ROUNDS))
+        cost, opt, strong = measure(a, b, adv_sequence_strong(a, b, rounds=ROUNDS))
+        predicted = (2 * a + b + 1) / min(2 * a, b, 3)
+        rows.append((a, b, plain, strong, predicted))
+    return rows
+
+
+@pytest.mark.benchmark(group="thm3")
+def test_thm3_lower_bound_grid(benchmark, emit):
+    wl = adv_sequence_strong(1, 2, rounds=ROUNDS)
+    benchmark(lambda: measure(1, 2, wl))
+    rows = run_grid()
+    strong_ratios = {(a, b): s for a, b, _, s, _ in rows}
+    # The strengthened adversary forces >= 5/2 everywhere...
+    assert all(r >= 2.5 - 0.05 for r in strong_ratios.values())
+    # ... with the minimum (equality) exactly at RWW = (1, 2).
+    assert min(strong_ratios, key=strong_ratios.get) == (1, 2)
+    assert strong_ratios[(1, 2)] == pytest.approx(2.5, rel=0.01)
+    # Measured ratios track the closed form.
+    for a, b, _, strong, predicted in rows:
+        assert strong == pytest.approx(predicted, rel=0.02), (a, b)
+    # Reproduction note: the plain proof-sketch adversary dips below 5/2
+    # at (2, 4) — the noop strengthening is necessary.
+    plain_24 = next(p for a, b, p, _, _ in rows if (a, b) == (2, 4))
+    assert plain_24 == pytest.approx(2.25, rel=0.02)
+    text = format_table(
+        ["a", "b", "ratio ADV(a,b)", "ratio ADV+N(a,b)", "(2a+b+1)/min(2a,b,3)"],
+        rows,
+        title=(
+            "Theorem 3 — adversarial lower bound for (a, b)-algorithms over "
+            f"{ROUNDS} rounds (ADV+N forces >= 5/2 everywhere; min at RWW = (1, 2)):"
+        ),
+    )
+    emit("thm3_lower_bound", text)

@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper artifact (figure/table/theorem) and
+emits the paper-shaped table via :func:`emit`: printed to stdout (visible
+with ``pytest -s`` and in benchmark logs) and persisted under
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Adaptive cluster monitoring: RWW vs static aggregation strategies.
+
+The scenario from the paper's introduction: a monitoring tree over a
+cluster where the workload shifts between regimes — a dashboard-heavy
+morning (reads dominate), an ingest-heavy batch window (writes dominate),
+and an incident where one rack goes hot.  Static strategies (Astrolabe
+push-all, MDS-2 pull-always, a root-maintained hierarchy, TTL leases) are
+each tuned for one regime; RWW adapts per edge.
+
+Run:  python examples/adaptive_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import AggregationSystem, balanced_kary_tree
+from repro.baselines import (
+    StaticLeaseBaseline,
+    TimeLeaseBaseline,
+    astrolabe_config,
+    mds_config,
+    up_tree_config,
+)
+from repro.util import format_table
+from repro.workloads.phases import Phase, phase_workload
+from repro.workloads.requests import copy_sequence
+
+
+def build_workload(n_nodes: int):
+    """Three named phases of cluster life."""
+    phases = {
+        "dashboard morning (95% reads)": Phase(length=600, read_ratio=0.95),
+        "batch ingest (5% reads)": Phase(length=600, read_ratio=0.05),
+        "rack incident (hot nodes 9-12)": Phase(length=600, read_ratio=0.5,
+                                                nodes=[9, 10, 11, 12]),
+    }
+    workloads = {
+        name: phase_workload(n_nodes, [ph], seed=7) for name, ph in phases.items()
+    }
+    workloads["full day (all phases)"] = phase_workload(
+        n_nodes, list(phases.values()), seed=7
+    )
+    return workloads
+
+
+def main() -> None:
+    tree = balanced_kary_tree(3, 3)  # 40-node monitoring hierarchy
+    print(f"Monitoring tree: balanced 3-ary, {tree.n} nodes\n")
+
+    algorithms = {
+        "RWW (adaptive)": lambda wl: AggregationSystem(tree).run(
+            copy_sequence(wl)
+        ).total_messages,
+        "Astrolabe (push-all)": lambda wl: StaticLeaseBaseline(
+            tree, astrolabe_config(tree), name="astrolabe"
+        ).run(copy_sequence(wl)).total_messages,
+        "MDS-2 (pull-always)": lambda wl: StaticLeaseBaseline(
+            tree, mds_config(tree), name="mds"
+        ).run(copy_sequence(wl)).total_messages,
+        "Root hierarchy": lambda wl: StaticLeaseBaseline(
+            tree, up_tree_config(tree, 0), name="uptree"
+        ).run(copy_sequence(wl)).total_messages,
+        "TTL leases (ttl=10)": lambda wl: TimeLeaseBaseline(tree, ttl=10).run(
+            copy_sequence(wl)
+        ).total_messages,
+    }
+
+    rows = []
+    for phase_name, wl in build_workload(tree.n).items():
+        costs = {name: fn(wl) for name, fn in algorithms.items()}
+        best = min(costs.values())
+        rows.append(
+            (
+                phase_name,
+                *costs.values(),
+                next(n for n, c in costs.items() if c == best).split(" (")[0],
+            )
+        )
+
+    print(
+        format_table(
+            ["workload phase", *algorithms.keys(), "winner"],
+            rows,
+            title="Messages per phase (1800 requests for the full day):",
+        )
+    )
+    print(
+        "\nReading the table: each static strategy wins only its favored\n"
+        "regime and loses badly outside it; RWW tracks the winner within a\n"
+        "small constant everywhere and wins outright once phases mix —\n"
+        "the paper's argument for request-pattern-driven leases."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""What breaks without reliable FIFO channels — and how it is caught.
+
+The paper proves its guarantees for reliable FIFO links.  This example
+injects message drops, duplicates, and reordering into the concurrent
+substrate and shows the observable damage: hung combines (no
+retransmission layer exists), stale answers (caught by the strict
+consistency checker), and spurious lease churn (duplicated updates
+double-count writes against RWW's timer).
+
+Run:  python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+from repro import path_tree, random_tree
+from repro.consistency import check_strict_consistency
+from repro.sim.channel import constant_latency
+from repro.sim.faults import FaultPlan, faulty_concurrent_system, run_with_faults
+from repro.util import format_table
+from repro import ScheduledRequest
+from repro.workloads import combine, uniform_workload, write
+from repro.workloads.requests import copy_sequence
+
+
+def serial_schedule(workload, gap=100.0):
+    return [
+        ScheduledRequest(time=gap * i, request=q)
+        for i, q in enumerate(copy_sequence(workload))
+    ]
+
+
+def run_plan(tree, workload, plan):
+    system = faulty_concurrent_system(
+        tree, plan, latency=constant_latency(1.0), ghost=False
+    )
+    result, hung = run_with_faults(system, serial_schedule(workload))
+    completed = [
+        q for q in result.requests if q.op != "combine" or q.retval is not None
+    ]
+    violations = check_strict_consistency(completed, tree.n)
+    return {
+        "faults": system.network.faults.count(),
+        "hung": hung,
+        "violations": len(violations),
+        "messages": result.total_messages,
+        "releases": result.stats.by_kind().get("release", 0),
+    }
+
+
+def main() -> None:
+    tree = random_tree(8, seed=4)
+    wl = uniform_workload(tree.n, 80, read_ratio=0.5, seed=7)
+    print(f"Tree: random, {tree.n} nodes; workload: 80 requests, r=0.5\n")
+
+    plans = {
+        "reliable FIFO (baseline)": FaultPlan(),
+        "2% drops": FaultPlan(drop_prob=0.02, seed=1),
+        "10% drops": FaultPlan(drop_prob=0.10, seed=2),
+        "10% duplicates": FaultPlan(duplicate_prob=0.10, seed=3),
+        "20% reordering": FaultPlan(reorder_prob=0.20, seed=4),
+    }
+    rows = []
+    for name, plan in plans.items():
+        stats = run_plan(tree, wl, plan)
+        rows.append((name, stats["faults"], stats["hung"],
+                     stats["violations"], stats["releases"]))
+    print(format_table(
+        ["channel behaviour", "injected faults", "hung combines",
+         "stale answers", "releases sent"],
+        rows,
+        title="Fault injection results:",
+    ))
+    print(
+        "\nReading the table: the baseline row is clean (the guarantees\n"
+        "hold); dropped messages hang combines or leave stale answers that\n"
+        "the strict-consistency checker flags; duplicated updates inflate\n"
+        "lease churn (extra releases) because RWW's write counter is not\n"
+        "idempotent.  The paper's channel assumptions are load-bearing —\n"
+        "a deployment needs a reliable transport underneath the mechanism."
+    )
+
+
+if __name__ == "__main__":
+    main()

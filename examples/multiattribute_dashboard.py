@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""An SDIMS-style multi-attribute dashboard over one aggregation tree.
+
+Four attributes (mean load, peak temperature, alive count, total QPS) share
+a 40-machine tree, each with its own per-edge lease state.  The example
+shows (1) one query answering all four views, (2) message batching — a
+cold dashboard refresh costs one probe wave, not four — and (3) per-attribute
+adaptivity: a write-hot attribute's leases retract while a read-hot one's
+stay in place, visible in the per-attribute message bills.
+
+Run:  python examples/multiattribute_dashboard.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import AVERAGE, COUNT, MAX, SUM, MultiAttributeSystem, balanced_kary_tree
+from repro.report import render_tree
+from repro.util import format_table
+
+
+def main() -> None:
+    tree = balanced_kary_tree(3, 3)  # 40-machine monitoring tree
+    system = MultiAttributeSystem(
+        tree,
+        {"load": AVERAGE, "peak_temp": MAX, "alive": COUNT, "qps": SUM},
+    )
+    rng = random.Random(8)
+
+    print(f"Monitoring tree: balanced 3-ary, {tree.n} machines")
+    print("Attributes: load (mean), peak_temp (max), alive (count), qps (sum)\n")
+
+    # Every machine reports its full metric set once.
+    for node in tree.nodes():
+        system.write_many(
+            node,
+            {
+                "load": rng.uniform(0.0, 8.0),
+                "peak_temp": rng.uniform(35.0, 90.0),
+                "alive": 1.0,
+                "qps": rng.uniform(10.0, 500.0),
+            },
+        )
+
+    print("== Cold dashboard refresh at the ops console (node 0) ==")
+    report = system.query(0)
+    for name, value in sorted(report.values.items()):
+        print(f"  {name:>10}: {value:.2f}")
+    print(f"  unbatched messages: {report.unbatched_messages}")
+    print(f"  batched messages:   {report.batched_messages} "
+          f"(x{report.unbatched_messages / report.batched_messages:.1f} saved "
+          "— one probe wave serves all four attributes)\n")
+
+    print("== Divergent traffic: qps is write-hot, peak_temp is read-hot ==")
+    for step in range(200):
+        node = rng.randrange(tree.n)
+        if step % 4 == 0:
+            system.query(0, ["peak_temp"])  # dashboard polls temperature
+        else:
+            system.write(node, "qps", rng.uniform(10.0, 500.0))
+
+    rows = [
+        (name, system.attribute_messages(name), len(system.lease_graph(name)))
+        for name in ("load", "peak_temp", "alive", "qps")
+    ]
+    print(format_table(
+        ["attribute", "total messages", "live leases"],
+        rows,
+        title="Per-attribute bills after the divergent phase:",
+    ))
+    print(
+        "\nqps paid for its write storm and shed its leases (RWW broke them\n"
+        "after two consecutive writes per edge); peak_temp kept its leases\n"
+        "toward the console so the polls stayed nearly free; the untouched\n"
+        "attributes paid nothing further.\n"
+    )
+
+    print("peak_temp's lease graph (all arrows point toward the console):")
+    print(render_tree(tree, root=0, granted=system.lease_graph("peak_temp")))
+    system.check_invariants()
+
+
+if __name__ == "__main__":
+    main()

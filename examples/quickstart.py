@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: lease-based aggregation over a small tree.
+
+Builds an 8-node aggregation tree, writes local values, issues combine
+requests from different nodes, and narrates what the lease mechanism does:
+which messages flow, which leases exist, and how RWW adapts when reads turn
+into writes.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import AggregationSystem, binary_tree, combine, write
+
+
+def show(system, label):
+    kinds = system.stats.by_kind()
+    leases = sorted(system.lease_graph_edges())
+    print(f"  {label}")
+    print(f"    messages so far: {system.stats.total}  ({kinds})")
+    print(f"    lease graph (u -> v means u pushes updates to v): {leases}")
+
+
+def main() -> None:
+    tree = binary_tree(2)  # 7 nodes: 0 root, leaves 3..6
+    print(f"Tree: complete binary tree with {tree.n} nodes, edges {list(tree.edges)}")
+    system = AggregationSystem(tree)
+
+    print("\n1) Every machine reports a local metric (write requests are free")
+    print("   while nobody holds a lease):")
+    for node in tree.nodes():
+        system.execute(write(node, float(10 + node)))
+    show(system, "after 7 writes")
+
+    print("\n2) First combine at leaf 3 pulls the whole tree (probe/response")
+    print("   waves) and installs leases along the way:")
+    result = system.execute(combine(3))
+    print(f"    global sum = {result.retval}")
+    show(system, "after first combine")
+
+    print("\n3) A second combine anywhere near the leases is nearly free:")
+    before = system.stats.total
+    result = system.execute(combine(3))
+    print(f"    global sum = {result.retval}  (cost: {system.stats.total - before} messages)")
+
+    print("\n4) While leases hold, writes push updates toward the reader:")
+    before = system.stats.total
+    system.execute(write(6, 99.0))
+    print(f"    one write cost {system.stats.total - before} update messages")
+    result = system.execute(combine(3))
+    print(f"    fresh global sum = {result.retval} (still served locally)")
+
+    print("\n5) RWW breaks leases after two consecutive writes — a write-heavy")
+    print("   phase stops paying the push tax:")
+    system.execute(write(6, 100.0))  # second consecutive write
+    show(system, "after the lease-breaking write")
+    before = system.stats.total
+    for i in range(5):
+        system.execute(write(6, 101.0 + i))
+    print(f"    five more writes cost {system.stats.total - before} messages (silence)")
+
+    result = system.execute(combine(0))
+    print(f"\n6) A later combine re-pulls and re-leases: global sum = {result.retval}")
+    show(system, "final state")
+
+    system.check_quiescent_invariants()
+    print("\nAll quiescent-state invariants (Lemmas 3.1/3.2/3.4) verified. Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works in offline environments without the `wheel` package (legacy editable
+installs go through `setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

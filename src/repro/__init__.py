@@ -1,0 +1,104 @@
+"""repro — Online Aggregation over Trees (Plaxton, Tiwari, Yalagandula, IPPS 2007).
+
+A complete implementation of the paper's lease-based aggregation mechanism,
+the RWW online algorithm, the offline comparators of its competitive
+analysis, its consistency machinery (strict and causal), the baselines it
+motivates against, and a benchmark suite regenerating every figure/table and
+theorem-level claim.
+
+Quickstart
+----------
+>>> from repro import AggregationSystem, path_tree, write, combine
+>>> system = AggregationSystem(path_tree(4))
+>>> _ = system.execute(write(0, 10.0))
+>>> _ = system.execute(write(3, 32.0))
+>>> system.execute(combine(1)).retval
+42.0
+
+Package layout
+--------------
+``repro.ops``          aggregation operators (commutative monoids)
+``repro.tree``         tree topologies and generators
+``repro.sim``          discrete-event simulation substrate
+``repro.core``         the lease mechanism, RWW, and execution engines
+``repro.offline``      offline-optimal comparators (per-edge DP, nice bound)
+``repro.consistency``  strict and causal consistency checkers
+``repro.workloads``    request model and synthetic/adversarial generators
+``repro.analysis``     Figure-4 state machine, Figure-5 LP, ratio harness
+``repro.baselines``    Astrolabe / MDS-2 / static-k / time-lease baselines
+"""
+
+from repro.core.engine import (
+    AggregationSystem,
+    ConcurrentAggregationSystem,
+    ExecutionResult,
+    ScheduledRequest,
+)
+from repro.core.mechanism import LeaseNode
+from repro.core.policy import LeasePolicy
+from repro.core.rww import RWWPolicy
+from repro.core.policies import (
+    ABPolicy,
+    AlwaysLeasePolicy,
+    NeverLeasePolicy,
+    WriteOncePolicy,
+    HeterogeneousABPolicy,
+)
+from repro.core.randomized import RandomBreakPolicy, random_break_factory
+from repro.core.multiattr import MultiAttributeSystem, MultiOpReport
+from repro.core.dynamic import DynamicAggregationSystem
+from repro.ops import AVERAGE, COUNT, MAX, MIN, SUM, AggregationOperator
+from repro.tree import (
+    Tree,
+    balanced_kary_tree,
+    binary_tree,
+    caterpillar_tree,
+    path_tree,
+    random_tree,
+    spider_tree,
+    star_tree,
+    two_node_tree,
+)
+from repro.workloads import Request, combine, scoped_combine, write
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationSystem",
+    "ConcurrentAggregationSystem",
+    "ExecutionResult",
+    "ScheduledRequest",
+    "LeaseNode",
+    "LeasePolicy",
+    "RWWPolicy",
+    "ABPolicy",
+    "AlwaysLeasePolicy",
+    "NeverLeasePolicy",
+    "WriteOncePolicy",
+    "HeterogeneousABPolicy",
+    "RandomBreakPolicy",
+    "random_break_factory",
+    "MultiAttributeSystem",
+    "MultiOpReport",
+    "DynamicAggregationSystem",
+    "AggregationOperator",
+    "SUM",
+    "MIN",
+    "MAX",
+    "COUNT",
+    "AVERAGE",
+    "Tree",
+    "path_tree",
+    "star_tree",
+    "binary_tree",
+    "balanced_kary_tree",
+    "caterpillar_tree",
+    "spider_tree",
+    "random_tree",
+    "two_node_tree",
+    "Request",
+    "combine",
+    "scoped_combine",
+    "write",
+    "__version__",
+]

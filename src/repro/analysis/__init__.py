@@ -1,0 +1,82 @@
+"""Competitive-analysis machinery.
+
+* :mod:`repro.analysis.statemachine` — Figure 4's product state machine
+  ``S(x, y)`` (OPT lease state × RWW configuration), generated from first
+  principles out of the Figure-2 cost table.
+* :mod:`repro.analysis.lp` — Figure 5's linear program built from that
+  machine and solved with ``scipy.optimize.linprog``; reproduces
+  ``c = 5/2`` and the paper's potential values.
+* :mod:`repro.analysis.potential` — verifies a potential function against
+  every transition (the amortized inequality), both symbolically on the
+  machine and empirically on executed traces.
+* :mod:`repro.analysis.competitive` — the empirical competitive-ratio
+  harness comparing any policy against the per-edge DP OPT and the nice
+  bound across workload/topology sweeps.
+"""
+
+from repro.analysis.statemachine import (
+    PAPER_CONSTRAINT_ROWS,
+    State,
+    Transition,
+    product_transitions,
+    reachable_states,
+    rww_step,
+    opt_choices,
+)
+from repro.analysis.lp import LPSolution, build_lp, solve_competitive_lp, PAPER_POTENTIALS
+from repro.analysis.potential import (
+    verify_potential_on_machine,
+    verify_potential_on_tokens,
+)
+from repro.analysis.competitive import (
+    RatioReport,
+    competitive_ratio,
+    ratio_sweep,
+)
+from repro.analysis.expected import (
+    edge_token_probabilities,
+    expected_cost_per_request,
+    predict_total,
+    stationary_edge_cost,
+)
+from repro.analysis.games import (
+    PolicyAutomaton,
+    ab_automaton,
+    always_lease_automaton,
+    build_product_graph,
+    exact_competitive_ratio,
+    never_lease_automaton,
+    rww_automaton,
+    ttl_automaton,
+)
+
+__all__ = [
+    "State",
+    "Transition",
+    "rww_step",
+    "opt_choices",
+    "product_transitions",
+    "reachable_states",
+    "PAPER_CONSTRAINT_ROWS",
+    "LPSolution",
+    "build_lp",
+    "solve_competitive_lp",
+    "PAPER_POTENTIALS",
+    "verify_potential_on_machine",
+    "verify_potential_on_tokens",
+    "RatioReport",
+    "competitive_ratio",
+    "ratio_sweep",
+    "PolicyAutomaton",
+    "ab_automaton",
+    "rww_automaton",
+    "always_lease_automaton",
+    "never_lease_automaton",
+    "ttl_automaton",
+    "build_product_graph",
+    "exact_competitive_ratio",
+    "edge_token_probabilities",
+    "stationary_edge_cost",
+    "expected_cost_per_request",
+    "predict_total",
+]

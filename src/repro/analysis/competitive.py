@@ -1,0 +1,110 @@
+"""Empirical competitive-ratio harness.
+
+Runs a policy's full simulation on a request sequence and compares its
+message count against the offline comparators:
+
+* the **lease OPT** lower bound (per-edge DP, Theorem 1's comparator), and
+* the **nice** lower bound (per-edge epochs, Theorem 2's comparator).
+
+:func:`ratio_sweep` fans one workload family across topologies and seeds,
+producing the rows the THM1/THM2 benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.engine import AggregationSystem, PolicyFactory
+from repro.core.rww import RWWPolicy
+from repro.offline.edge_dp import offline_lease_lower_bound
+from repro.offline.nice_bound import nice_lower_bound
+from repro.ops.monoid import AggregationOperator
+from repro.ops.standard import SUM
+from repro.tree.topology import Tree
+from repro.workloads.requests import Request, copy_sequence
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """Competitive comparison of one run.
+
+    ``ratio_vs_opt`` / ``ratio_vs_nice`` are ``inf`` when the corresponding
+    lower bound is zero while the algorithm still sent messages, and 1.0
+    when both are zero.
+    """
+
+    label: str
+    algorithm_cost: int
+    opt_lease_bound: int
+    nice_bound: int
+
+    @property
+    def ratio_vs_opt(self) -> float:
+        if self.opt_lease_bound == 0:
+            return 1.0 if self.algorithm_cost == 0 else float("inf")
+        return self.algorithm_cost / self.opt_lease_bound
+
+    @property
+    def ratio_vs_nice(self) -> float:
+        if self.nice_bound == 0:
+            return 1.0 if self.algorithm_cost == 0 else float("inf")
+        return self.algorithm_cost / self.nice_bound
+
+
+def competitive_ratio(
+    tree: Tree,
+    sequence: Sequence[Request],
+    policy_factory: PolicyFactory = RWWPolicy,
+    op: AggregationOperator = SUM,
+    label: str = "run",
+    check_invariants: bool = True,
+) -> RatioReport:
+    """Run ``sequence`` sequentially under ``policy_factory`` and compare
+    its cost with the two offline lower bounds."""
+    system = AggregationSystem(tree, op=op, policy_factory=policy_factory)
+    result = system.run(copy_sequence(sequence))
+    if check_invariants:
+        system.check_quiescent_invariants()
+    return RatioReport(
+        label=label,
+        algorithm_cost=result.total_messages,
+        opt_lease_bound=offline_lease_lower_bound(tree, sequence),
+        nice_bound=nice_lower_bound(tree, sequence),
+    )
+
+
+def ratio_sweep(
+    topologies: Dict[str, Tree],
+    workload_fn: Callable[[int, int], Sequence[Request]],
+    seeds: Iterable[int],
+    policy_factory: PolicyFactory = RWWPolicy,
+    op: AggregationOperator = SUM,
+) -> List[RatioReport]:
+    """Cartesian sweep: every topology × seed.
+
+    ``workload_fn(n_nodes, seed)`` builds the request sequence for a run.
+    """
+    reports: List[RatioReport] = []
+    for name, tree in sorted(topologies.items()):
+        for seed in seeds:
+            sequence = workload_fn(tree.n, seed)
+            reports.append(
+                competitive_ratio(
+                    tree,
+                    sequence,
+                    policy_factory=policy_factory,
+                    op=op,
+                    label=f"{name}/seed{seed}",
+                )
+            )
+    return reports
+
+
+def worst_ratio(reports: Sequence[RatioReport], vs: str = "opt") -> float:
+    """Max ratio over a sweep (``vs`` = ``"opt"`` or ``"nice"``)."""
+    if vs == "opt":
+        return max(r.ratio_vs_opt for r in reports)
+    if vs == "nice":
+        return max(r.ratio_vs_nice for r in reports)
+    raise ValueError(f"vs must be 'opt' or 'nice', got {vs!r}")

@@ -1,0 +1,43 @@
+"""Static-strategy baselines the paper motivates against (Section 1).
+
+The intro contrasts adaptive lease-based aggregation with the static
+strategies of deployed frameworks:
+
+* **Astrolabe** — propagate every write's new aggregate to all nodes so
+  every read is local (:func:`astrolabe_config`).
+* **MDS-2** — aggregate on reads; every combine contacts all nodes
+  (:func:`mds_config`).
+* **SDIMS-like static hierarchies** — updates propagate part-way up a
+  rooted hierarchy, reads pull the rest (:func:`up_tree_config`,
+  :func:`up_to_level_k_config`).
+* **Time-based leases** (Gray & Cheriton) — leases that silently expire
+  after a TTL instead of being released
+  (:class:`~repro.baselines.timelease.TimeLeaseBaseline`).
+
+All static lease configurations are expressed as a fixed set of granted
+directed edges validated against the mechanism's legality constraint
+(Lemma 3.2: a granted edge requires every other incident edge's reverse
+grant), and their message costs follow the Figure-2 per-edge accounting, so
+they are directly comparable with RWW's simulated counts.
+"""
+
+from repro.baselines.base import BaselineResult, StaticLeaseBaseline
+from repro.baselines.configs import (
+    astrolabe_config,
+    mds_config,
+    up_to_level_k_config,
+    up_tree_config,
+    validate_lease_config,
+)
+from repro.baselines.timelease import TimeLeaseBaseline
+
+__all__ = [
+    "BaselineResult",
+    "StaticLeaseBaseline",
+    "astrolabe_config",
+    "mds_config",
+    "up_tree_config",
+    "up_to_level_k_config",
+    "validate_lease_config",
+    "TimeLeaseBaseline",
+]

@@ -1,0 +1,145 @@
+"""Static-lease baseline simulator.
+
+A *static* lease-based algorithm fixes the granted-edge set once and never
+changes it.  Its message cost follows the Figure-2 per-request accounting
+with the state frozen:
+
+* leased ordered edge ``(u, v)``: each write in ``subtree(u, v)`` pushes one
+  ``update`` across (cost 1); combines in ``subtree(v, u)`` are free.
+* unleased ordered edge: each combine in ``subtree(v, u)`` pulls with a
+  ``probe``/``response`` pair (cost 2); writes are free.
+
+Static configurations are strictly consistent for the same reason any
+lease-based algorithm is (Lemma 3.12), provided the configuration is
+*legal* — i.e. realizable by the mechanism, which grants a lease only when
+every other neighbor is taken (Lemma 3.2).  Legality is validated by
+:func:`repro.baselines.configs.validate_lease_config`.
+
+The simulator also tracks latest written values so examples can read actual
+aggregates, not just message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.ops.monoid import AggregationOperator
+from repro.ops.standard import SUM
+from repro.tree.topology import Tree
+from repro.workloads.requests import COMBINE, WRITE, Request
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of running a baseline over a request sequence.
+
+    Attributes
+    ----------
+    total_messages:
+        Total message count (Figure-2 accounting).
+    per_request:
+        Message cost of each request, in order.
+    requests:
+        The executed requests with combine retvals filled in.
+    """
+
+    total_messages: int
+    per_request: List[int]
+    requests: List[Request]
+
+    def combine_results(self) -> List[Any]:
+        return [q.retval for q in self.requests if q.op == COMBINE]
+
+
+class StaticLeaseBaseline:
+    """Fixed-lease-configuration aggregation over a tree.
+
+    Parameters
+    ----------
+    tree:
+        The aggregation tree.
+    leased:
+        Set of ordered pairs ``(u, v)`` with a permanent lease ``u → v``.
+        Use the factories in :mod:`repro.baselines.configs`.
+    op:
+        The aggregation operator (for combine retvals).
+    name:
+        Label for reports.
+    validate:
+        Check the Lemma-3.2 legality constraint at construction.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        leased: Set[Edge],
+        op: AggregationOperator = SUM,
+        name: str = "static",
+        validate: bool = True,
+    ) -> None:
+        from repro.baselines.configs import validate_lease_config
+
+        self.tree = tree
+        self.leased: FrozenSet[Edge] = frozenset(leased)
+        self.op = op
+        self.name = name
+        for u, v in self.leased:
+            if not tree.has_edge(u, v):
+                raise ValueError(f"leased pair ({u}, {v}) is not a tree edge")
+        if validate:
+            validate_lease_config(tree, self.leased)
+        # Precompute, for every node x, the per-request costs:
+        #   write at x crosses every leased edge (u, v) with x on u's side;
+        #   combine at x crosses every unleased edge (u, v) with x on v's
+        #   side, twice.
+        self._write_cost: Dict[int, int] = {}
+        self._combine_cost: Dict[int, int] = {}
+        sides = {(u, v): tree.subtree(u, v) for u, v in tree.directed_edges()}
+        for x in tree.nodes():
+            wcost = sum(1 for (u, v) in tree.directed_edges() if (u, v) in self.leased and x in sides[(u, v)])
+            ccost = sum(
+                2
+                for (u, v) in tree.directed_edges()
+                if (u, v) not in self.leased and x in sides[(v, u)]
+            )
+            self._write_cost[x] = wcost
+            self._combine_cost[x] = ccost
+
+    def write_cost(self, node: int) -> int:
+        """Messages a write at ``node`` costs under this configuration."""
+        return self._write_cost[node]
+
+    def combine_cost(self, node: int) -> int:
+        """Messages a combine at ``node`` costs under this configuration."""
+        return self._combine_cost[node]
+
+    def run(self, sequence: Sequence[Request]) -> BaselineResult:
+        """Execute a sequence: count messages and answer combines exactly
+        (static lease configurations are strictly consistent)."""
+        latest: Dict[int, Any] = {}
+        per_request: List[int] = []
+        total = 0
+        executed: List[Request] = []
+        for q in sequence:
+            if q.op == WRITE:
+                latest[q.node] = q.arg
+                cost = self._write_cost[q.node]
+            elif q.op == COMBINE:
+                acc = self.op.identity
+                for node in self.tree.nodes():
+                    if node in latest:
+                        acc = self.op.combine(acc, self.op.lift(latest[node]))
+                q.retval = acc
+                cost = self._combine_cost[q.node]
+            else:
+                raise ValueError(f"cannot execute op {q.op!r}")
+            per_request.append(cost)
+            total += cost
+            executed.append(q)
+        return BaselineResult(total_messages=total, per_request=per_request, requests=executed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticLeaseBaseline({self.name!r}, leased={len(self.leased)} edges)"

@@ -1,0 +1,65 @@
+"""Static lease configurations and their legality check.
+
+Legality (Lemma 3.2): the mechanism grants ``u → v`` only when every other
+neighbor of ``u`` has granted to ``u``; a static configuration must satisfy
+the closure  ``(u, v) leased  ⟹  (w, u) leased for every neighbor w ≠ v``.
+Intuitively a granted edge needs fresh inputs from all of ``u``'s other
+subtrees, so the grants behind it must already be in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.tree.topology import Tree
+
+Edge = Tuple[int, int]
+
+
+def validate_lease_config(tree: Tree, leased: Iterable[Edge]) -> None:
+    """Raise ``ValueError`` when the configuration violates Lemma 3.2's
+    closure (and hence could never arise from the mechanism)."""
+    leased_set = set(leased)
+    for u, v in leased_set:
+        for w in tree.neighbors(u):
+            if w != v and (w, u) not in leased_set:
+                raise ValueError(
+                    f"illegal static lease set: ({u}, {v}) leased but ({w}, {u}) is not "
+                    "(Lemma 3.2 closure)"
+                )
+
+
+def astrolabe_config(tree: Tree) -> Set[Edge]:
+    """Every directed edge leased: writes flood to all nodes, reads are
+    local — Astrolabe's strategy."""
+    return set(tree.directed_edges())
+
+
+def mds_config(tree: Tree) -> Set[Edge]:
+    """No edge leased: reads contact every node, writes are silent —
+    MDS-2's strategy."""
+    return set()
+
+
+def up_tree_config(tree: Tree, root: int) -> Set[Edge]:
+    """All edges directed toward ``root`` leased: every write propagates to
+    the root; a combine at the root is free, combines elsewhere pull their
+    missing (downward) sides.  A root-maintained aggregate à la a single
+    SDIMS aggregation point."""
+    parents = tree.bfs_parents(root)
+    return {(u, parents[u]) for u in tree.nodes() if u != root}
+
+
+def up_to_level_k_config(tree: Tree, root: int, k: int) -> Set[Edge]:
+    """Upward edges leased only below depth ``k``: writes propagate up
+    until they reach a depth-``k`` ancestor (SDIMS "update-up-k"-like);
+    reads pay to pull across the unleased top and all downward edges.
+
+    ``k = 0`` equals :func:`up_tree_config`; ``k`` at least the tree height
+    equals :func:`mds_config`.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    parents = tree.bfs_parents(root)
+    depths = tree.depths(root)
+    return {(u, parents[u]) for u in tree.nodes() if u != root and depths[u] > k}

@@ -1,0 +1,332 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``       run a small aggregation demo and print a summary
+``lp``         build and solve the Figure-5 LP (c = 5/2)
+``ratio``      run a workload under a policy; report cost vs offline bounds
+``exact``      exact competitive ratio of a policy automaton (game solver)
+``adversary``  run the Theorem-3 adversary against an (a, b)-algorithm
+``baselines``  read-ratio sweep: RWW vs the static baselines
+
+Workload traces can be saved/loaded as JSONL (``ratio --save/--load``), so
+an experiment run on one machine replays bit-identically on another.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.engine import AggregationSystem
+from repro.core.policies import ABPolicy, AlwaysLeasePolicy, NeverLeasePolicy
+from repro.core.rww import RWWPolicy
+from repro.tree.generators import (
+    binary_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from repro.util import format_table
+from repro.workloads.requests import copy_sequence
+from repro.workloads.synthetic import uniform_workload
+
+
+def make_tree(topology: str, nodes: int, seed: int):
+    """Build a topology by name."""
+    builders = {
+        "path": lambda: path_tree(nodes),
+        "star": lambda: star_tree(nodes),
+        "binary": lambda: _binary_near(nodes),
+        "random": lambda: random_tree(nodes, seed),
+    }
+    if topology not in builders:
+        raise SystemExit(f"unknown topology {topology!r}; pick from {sorted(builders)}")
+    return builders[topology]()
+
+
+def _binary_near(nodes: int):
+    import math
+
+    depth = max(0, int(math.log2(max(nodes, 1) + 1)) - 1)
+    return binary_tree(depth)
+
+
+def make_policy_factory(spec: str):
+    """Parse a policy spec: rww | always | never | ab:a,b | random:p."""
+    if spec == "rww":
+        return RWWPolicy, "RWW"
+    if spec == "always":
+        return AlwaysLeasePolicy, "always-lease"
+    if spec == "never":
+        return NeverLeasePolicy, "never-lease"
+    if spec.startswith("ab:"):
+        try:
+            a_str, b_str = spec[3:].split(",")
+            a, b = int(a_str), int(b_str)
+        except ValueError:
+            raise SystemExit(f"bad ab spec {spec!r}; expected ab:a,b")
+        return (lambda: ABPolicy(a, b)), f"({a},{b})"
+    if spec.startswith("random:"):
+        from repro.core.randomized import random_break_factory
+
+        try:
+            p = float(spec[7:])
+        except ValueError:
+            raise SystemExit(f"bad random spec {spec!r}; expected random:p")
+        return random_break_factory(p), f"random-break[{p}]"
+    raise SystemExit(f"unknown policy {spec!r}")
+
+
+# ---------------------------------------------------------------- commands
+def cmd_demo(args) -> int:
+    from repro.workloads.requests import combine, write
+
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    system = AggregationSystem(tree)
+    import random as _random
+
+    rng = _random.Random(args.seed)
+    for node in tree.nodes():
+        system.execute(write(node, float(rng.randrange(100))))
+    r1 = system.execute(combine(0))
+    r2 = system.execute(combine(0))
+    print(f"tree: {args.topology} with {tree.n} nodes")
+    print(f"global aggregate: {r1.retval}")
+    print(f"first combine + writes cost {system.stats.total} messages; "
+          f"repeat combine cost 0 extra" if r2.retval == r1.retval else "")
+    print(f"message breakdown: {system.stats.by_kind()}")
+    print(f"leases installed: {sorted(system.lease_graph_edges())}")
+    return 0
+
+
+def cmd_lp(args) -> int:
+    from repro.analysis.lp import PAPER_POTENTIALS, solve_competitive_lp
+    from repro.analysis.potential import verify_potential_on_machine
+
+    solution = solve_competitive_lp()
+    print(f"Figure 5 LP: {solution.n_constraints} constraints")
+    print(f"optimum: {solution}")
+    ok = not verify_potential_on_machine(PAPER_POTENTIALS, 2.5)
+    print(f"paper potentials feasible at c = 5/2: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
+
+
+def cmd_ratio(args) -> int:
+    from repro.offline.vectorized import (
+        nice_lower_bound_fast,
+        offline_lease_lower_bound_fast,
+    )
+    from repro.workloads.traces import load_trace, save_trace
+
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    if args.load:
+        workload = load_trace(args.load)
+        print(f"loaded {len(workload)} requests from {args.load}")
+    else:
+        workload = uniform_workload(
+            tree.n, args.length, read_ratio=args.read_ratio, seed=args.seed
+        )
+    if args.save:
+        save_trace(args.save, workload)
+        print(f"saved workload to {args.save}")
+    factory, name = make_policy_factory(args.policy)
+    system = AggregationSystem(tree, policy_factory=factory)
+    result = system.run(copy_sequence(workload))
+    opt = offline_lease_lower_bound_fast(tree, workload)
+    nice = nice_lower_bound_fast(tree, workload)
+    print(f"policy {name} on {args.topology}/{tree.n} nodes, {len(workload)} requests")
+    print(f"  messages:         {result.total_messages}")
+    print(f"  offline lease OPT >= {opt}"
+          + (f"   ratio {result.total_messages / opt:.3f}" if opt else ""))
+    print(f"  nice bound        >= {nice}"
+          + (f"   ratio {result.total_messages / nice:.3f}" if nice else ""))
+    return 0
+
+
+def cmd_exact(args) -> int:
+    from repro.analysis.games import (
+        ab_automaton,
+        always_lease_automaton,
+        exact_competitive_ratio,
+        never_lease_automaton,
+        rww_automaton,
+        ttl_automaton,
+    )
+
+    spec = args.policy
+    if spec == "rww":
+        auto = rww_automaton()
+    elif spec == "always":
+        auto = always_lease_automaton()
+    elif spec == "never":
+        auto = never_lease_automaton()
+    elif spec.startswith("ab:"):
+        a, b = (int(x) for x in spec[3:].split(","))
+        auto = ab_automaton(a, b)
+    elif spec.startswith("ttl:"):
+        auto = ttl_automaton(int(spec[4:]))
+    else:
+        raise SystemExit(f"unknown automaton spec {spec!r}")
+    ratio = exact_competitive_ratio(auto)
+    if ratio is None:
+        print(f"{auto.name}: competitive ratio UNBOUNDED")
+    else:
+        print(f"{auto.name}: exact competitive ratio {ratio} ({float(ratio):.4f})")
+    return 0
+
+
+def cmd_adversary(args) -> int:
+    from repro.offline.vectorized import offline_lease_lower_bound_fast
+    from repro.tree.generators import two_node_tree
+    from repro.workloads.adversarial import adv_sequence, adv_sequence_strong
+
+    tree = two_node_tree()
+    gen = adv_sequence_strong if args.strong else adv_sequence
+    wl = gen(args.a, args.b, rounds=args.rounds)
+    system = AggregationSystem(
+        tree, policy_factory=lambda: ABPolicy(args.a, args.b)
+    )
+    cost = system.run(copy_sequence(wl)).total_messages
+    opt = offline_lease_lower_bound_fast(tree, wl)
+    label = "ADV+N" if args.strong else "ADV"
+    print(f"{label}({args.a},{args.b}) x {args.rounds} rounds vs the "
+          f"({args.a},{args.b})-algorithm:")
+    print(f"  algorithm: {cost}   offline OPT: {opt}   ratio: {cost / opt:.4f}")
+    return 0
+
+
+def cmd_exact_grid(args) -> int:
+    from repro.analysis.games import ab_automaton, exact_competitive_ratio
+
+    rows = []
+    for a in range(1, args.max_a + 1):
+        for b in range(1, args.max_b + 1):
+            r = exact_competitive_ratio(ab_automaton(a, b))
+            rows.append((a, b, str(r), float(r)))
+    print(format_table(["a", "b", "exact ratio", "float"], rows,
+                       title="Exact competitive ratios of (a, b)-algorithms:"))
+    best = min(rows, key=lambda r: r[3])
+    print(f"\nminimum {best[2]} at (a, b) = ({best[0]}, {best[1]})"
+          + ("  — RWW" if (best[0], best[1]) == (1, 2) else ""))
+    return 0
+
+
+def cmd_gap(args) -> int:
+    from repro.offline.global_dp import relaxation_gap
+
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    wl = uniform_workload(tree.n, args.length, read_ratio=args.read_ratio, seed=args.seed)
+    relaxed, exact, gap = relaxation_gap(tree, wl)
+    print(f"{args.topology}/{tree.n} nodes, {args.length} requests:")
+    print(f"  per-edge relaxed bound: {relaxed}")
+    print(f"  closure-constrained OPT: {exact}")
+    print(f"  gap: {gap:.4f}" + ("  (relaxation tight)" if gap == 1.0 else ""))
+    return 0
+
+
+def cmd_baselines(args) -> int:
+    from repro.baselines import (
+        StaticLeaseBaseline,
+        astrolabe_config,
+        mds_config,
+        up_tree_config,
+    )
+
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    rows = []
+    for rr in (0.1, 0.3, 0.5, 0.7, 0.9):
+        wl = uniform_workload(tree.n, args.length, read_ratio=rr, seed=args.seed)
+        rww = AggregationSystem(tree).run(copy_sequence(wl)).total_messages
+        astro = StaticLeaseBaseline(tree, astrolabe_config(tree)).run(
+            copy_sequence(wl)
+        ).total_messages
+        mds = StaticLeaseBaseline(tree, mds_config(tree)).run(
+            copy_sequence(wl)
+        ).total_messages
+        root = StaticLeaseBaseline(tree, up_tree_config(tree, 0)).run(
+            copy_sequence(wl)
+        ).total_messages
+        rows.append((rr, rww, astro, mds, root))
+    print(
+        format_table(
+            ["read ratio", "RWW", "Astrolabe", "MDS-2", "RootHier"],
+            rows,
+            title=f"{args.topology}/{tree.n} nodes, {args.length} requests:",
+        )
+    )
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online Aggregation over Trees (IPPS 2007) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--topology", default="binary",
+                       choices=["path", "star", "binary", "random"])
+        p.add_argument("--nodes", type=int, default=15)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("demo", help="run a small aggregation demo")
+    add_common(p)
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("lp", help="solve the Figure-5 LP")
+    p.set_defaults(fn=cmd_lp)
+
+    p = sub.add_parser("ratio", help="run a workload and report ratios")
+    add_common(p)
+    p.add_argument("--length", type=int, default=500)
+    p.add_argument("--read-ratio", type=float, default=0.5)
+    p.add_argument("--policy", default="rww",
+                   help="rww | always | never | ab:a,b | random:p")
+    p.add_argument("--save", help="save the workload as JSONL")
+    p.add_argument("--load", help="replay a JSONL workload")
+    p.set_defaults(fn=cmd_ratio)
+
+    p = sub.add_parser("exact", help="exact competitive ratio (game solver)")
+    p.add_argument("--policy", default="rww",
+                   help="rww | always | never | ab:a,b | ttl:k")
+    p.set_defaults(fn=cmd_exact)
+
+    p = sub.add_parser("adversary", help="Theorem-3 adversary run")
+    p.add_argument("--a", type=int, default=1)
+    p.add_argument("--b", type=int, default=2)
+    p.add_argument("--rounds", type=int, default=300)
+    p.add_argument("--strong", action="store_true",
+                   help="include reader-side noop writes (ADV+N)")
+    p.set_defaults(fn=cmd_adversary)
+
+    p = sub.add_parser("baselines", help="read-ratio sweep vs static baselines")
+    add_common(p)
+    p.add_argument("--length", type=int, default=500)
+    p.set_defaults(fn=cmd_baselines)
+
+    p = sub.add_parser("exact-grid", help="exact ratios for the (a, b) grid")
+    p.add_argument("--max-a", type=int, default=3)
+    p.add_argument("--max-b", type=int, default=4)
+    p.set_defaults(fn=cmd_exact_grid)
+
+    p = sub.add_parser("gap", help="per-edge relaxation vs exact global OPT")
+    add_common(p)
+    p.add_argument("--length", type=int, default=25)
+    p.add_argument("--read-ratio", type=float, default=0.5)
+    p.set_defaults(fn=cmd_gap)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

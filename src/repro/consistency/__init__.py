@@ -1,0 +1,40 @@
+"""Consistency definitions and checkers.
+
+* :mod:`repro.consistency.strict` — Section 2's strict consistency for
+  aggregation: every combine returns ``f(A(σ, q))``, the aggregate of the
+  most recent write at every node.  Any lease-based algorithm provides this
+  in sequential executions (Lemma 3.12).
+* :mod:`repro.consistency.causal` — Section 5's causal consistency for
+  aggregation, checked on concurrent executions via the ghost-log
+  machinery (Theorem 4).
+* :mod:`repro.consistency.history` — shared history utilities (write
+  registries, compatibility of combine/gather histories).
+"""
+
+from repro.consistency.history import (
+    WriteRegistry,
+    build_write_registry,
+    check_compatibility,
+)
+from repro.consistency.strict import (
+    StrictViolation,
+    check_strict_consistency,
+    expected_combine_value,
+)
+from repro.consistency.causal import (
+    CausalViolation,
+    causal_order_edges,
+    check_causal_consistency,
+)
+
+__all__ = [
+    "WriteRegistry",
+    "build_write_registry",
+    "check_compatibility",
+    "StrictViolation",
+    "check_strict_consistency",
+    "expected_combine_value",
+    "CausalViolation",
+    "check_causal_consistency",
+    "causal_order_edges",
+]

@@ -1,0 +1,251 @@
+"""Causal consistency for aggregation (Section 5) — checker.
+
+Section 5 generalizes causal consistency [Ahamad et al.] to aggregation: a
+combine-write execution history is causally consistent iff it is compatible
+with a *gather-write* history ``B`` such that, for every node ``u``, there is
+a serialization of ``pruned(B, u)`` (all writes + ``u``'s gathers) that
+respects the causal order ⤳:
+
+* ``q1 ⤳ q2`` when they are at the same node with ``q1.index < q2.index``
+  (program order), or
+* ``q1 ⤳ q2`` when ``q1`` is a write, ``q2`` a gather, and ``q2`` returns
+  ``(q1.node, q1.index)`` (reads-from), or transitively.
+
+The ghost-log machinery (:mod:`repro.core.ghost`) constructs exactly the
+witnesses the paper's proof of Theorem 4 uses: ``u.gwlog'`` (the node's
+log extended with the writes it never heard of, appended at the end).  This
+checker validates, for an executed history:
+
+1. **serialization** — every gather's retval equals ``recentwrites`` of the
+   serialization prefix before it;
+2. **causal respect** — the serialization is a linear extension of ⤳
+   restricted to its elements (and ⤳ is acyclic);
+3. **compatibility** — every combine's retval equals ``f`` of its gather
+   twin's retval.
+
+All three hold for any lease-based algorithm (Theorem 4); the tests also
+run a deliberately broken algorithm to show the checker can fail.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.consistency.history import (
+    WriteRegistry,
+    build_write_registry,
+    gather_value,
+    values_equal,
+)
+from repro.core.ghost import GhostLog, extend_with_missing_writes
+from repro.ops.monoid import AggregationOperator
+from repro.ops.standard import SUM
+from repro.workloads.requests import COMBINE, GATHER, WRITE, Request
+
+#: Requests are identified by (node, index): unique because a node's
+#: completed-request counter covers combines and writes alike.
+Key = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CausalViolation:
+    """One detected breach of causal consistency."""
+
+    kind: str  # "serialization" | "causal-order" | "compatibility" | "cycle"
+    node: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] node {self.node}: {self.detail}"
+
+
+def _key(q: Request) -> Key:
+    return (q.node, q.index)
+
+
+def causal_order_edges(history: Iterable[Request]) -> List[Tuple[Key, Key]]:
+    """Direct ⤳ edges of a gather-write history.
+
+    Program order is encoded as consecutive-index chains per node (its
+    transitive closure matches rule (1)); reads-from edges go from each
+    write to every gather returning it.
+    """
+    by_node: Dict[int, List[Request]] = defaultdict(list)
+    writes: Dict[Key, Request] = {}
+    gathers: List[Request] = []
+    for q in history:
+        if q.op == WRITE:
+            writes[_key(q)] = q
+        elif q.op == GATHER:
+            gathers.append(q)
+        else:
+            raise ValueError(f"gather-write history cannot contain {q.op!r}")
+        by_node[q.node].append(q)
+
+    edges: List[Tuple[Key, Key]] = []
+    for node, reqs in by_node.items():
+        reqs.sort(key=lambda q: q.index)
+        for a, b in zip(reqs, reqs[1:]):
+            if a.index == b.index:
+                raise ValueError(f"duplicate request index {_key(a)}")
+            edges.append((_key(a), _key(b)))
+    for g in gathers:
+        for wnode, widx in g.retval.items():
+            if widx >= 0:
+                wkey = (wnode, widx)
+                if wkey in writes:
+                    edges.append((wkey, _key(g)))
+                # A gather naming an unknown write is reported by the
+                # serialization/compatibility checks, not here.
+    return edges
+
+
+def _reachability(
+    nodes: Set[Key], edges: Sequence[Tuple[Key, Key]]
+) -> Dict[Key, Set[Key]]:
+    """Descendant sets of a DAG via reverse-topological accumulation."""
+    adj: Dict[Key, List[Key]] = defaultdict(list)
+    indeg: Dict[Key, int] = {k: 0 for k in nodes}
+    for a, b in edges:
+        adj[a].append(b)
+        indeg[b] += 1
+    # Kahn topological sort.
+    order: List[Key] = [k for k in nodes if indeg[k] == 0]
+    i = 0
+    while i < len(order):
+        u = order[i]
+        i += 1
+        for w in adj[u]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                order.append(w)
+    if len(order) != len(nodes):
+        raise _CycleError()
+    reach: Dict[Key, Set[Key]] = {k: set() for k in nodes}
+    for u in reversed(order):
+        acc = reach[u]
+        for w in adj[u]:
+            acc.add(w)
+            acc |= reach[w]
+    return reach
+
+
+class _CycleError(Exception):
+    pass
+
+
+def check_causal_consistency(
+    ghost_logs: Mapping[int, GhostLog],
+    requests: Sequence[Request],
+    n_nodes: int,
+    op: AggregationOperator = SUM,
+) -> List[CausalViolation]:
+    """Check a concurrent execution for causal consistency.
+
+    Parameters
+    ----------
+    ghost_logs:
+        node id -> its :class:`~repro.core.ghost.GhostLog` (from a ghost run).
+    requests:
+        The executed combine/write requests (for the write registry and the
+        combine/gather compatibility check).
+    n_nodes:
+        Tree size.
+    op:
+        The aggregation operator of the run.
+
+    Returns the list of violations (empty = causally consistent).
+    """
+    violations: List[CausalViolation] = []
+    registry: WriteRegistry = build_write_registry(requests)
+
+    # The full gather-write history: every write once + every node's gathers.
+    full_history: Dict[Key, Request] = {}
+    for u, g in ghost_logs.items():
+        for q in g.log:
+            full_history.setdefault(_key(q), q)
+    for q in requests:
+        if q.op == WRITE:
+            full_history.setdefault(_key(q), q)
+
+    history_list = list(full_history.values())
+    edges = causal_order_edges(history_list)
+    try:
+        reach = _reachability(set(full_history.keys()), edges)
+    except _CycleError:
+        violations.append(
+            CausalViolation(kind="cycle", node=-1, detail="causal order ⤳ contains a cycle")
+        )
+        return violations
+
+    combines_by_key = {
+        _key(q): q for q in requests if q.op == COMBINE
+    }
+
+    for u, g in sorted(ghost_logs.items()):
+        serialization = extend_with_missing_writes(
+            list(g.log),
+            [ghost_logs[v].wlog for v in sorted(ghost_logs) if v != u],
+        )
+        # 1. Serialization: gathers return recentwrites of their prefix.
+        recent: Dict[int, int] = {}
+        for pos, q in enumerate(serialization):
+            if q.op == WRITE:
+                recent[q.node] = q.index
+            elif q.op == GATHER:
+                expected = {v: recent.get(v, -1) for v in range(n_nodes)}
+                if q.retval != expected:
+                    violations.append(
+                        CausalViolation(
+                            kind="serialization",
+                            node=u,
+                            detail=(
+                                f"gather {_key(q)} at position {pos} returned "
+                                f"{q.retval!r}, serialization prefix implies {expected!r}"
+                            ),
+                        )
+                    )
+                # 3. Compatibility with the combine twin.
+                twin = combines_by_key.get(_key(q))
+                if q.node == u:
+                    if twin is None:
+                        violations.append(
+                            CausalViolation(
+                                kind="compatibility",
+                                node=u,
+                                detail=f"gather {_key(q)} has no combine twin",
+                            )
+                        )
+                    else:
+                        expected_val = gather_value(op, q.retval, registry)
+                        if not values_equal(twin.retval, expected_val):
+                            violations.append(
+                                CausalViolation(
+                                    kind="compatibility",
+                                    node=u,
+                                    detail=(
+                                        f"combine {_key(q)} returned {twin.retval!r} "
+                                        f"but its gather implies {expected_val!r}"
+                                    ),
+                                )
+                            )
+        # 2. Causal respect: serialization is a linear extension of ⤳.
+        position = {_key(q): i for i, q in enumerate(serialization)}
+        for q in serialization:
+            k = _key(q)
+            for succ in reach.get(k, ()):
+                if succ in position and position[succ] < position[k]:
+                    violations.append(
+                        CausalViolation(
+                            kind="causal-order",
+                            node=u,
+                            detail=(
+                                f"{k} ⤳ {succ} but the serialization orders "
+                                f"{succ} (pos {position[succ]}) before {k} "
+                                f"(pos {position[k]})"
+                            ),
+                        )
+                    )
+    return violations

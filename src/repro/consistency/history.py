@@ -1,0 +1,73 @@
+"""Execution-history utilities shared by the consistency checkers."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from repro.ops.monoid import AggregationOperator
+from repro.workloads.requests import COMBINE, GATHER, WRITE, Request
+
+#: (node, index) -> write arg for every write in an execution.
+WriteRegistry = Dict[Tuple[int, int], Any]
+
+
+def build_write_registry(requests: Iterable[Request]) -> WriteRegistry:
+    """Collect the write arguments of an execution, keyed by identity.
+
+    Write identity is ``(node, index)`` — unique because each node's
+    completed-request counter is monotone.
+    """
+    out: WriteRegistry = {}
+    for q in requests:
+        if q.op == WRITE:
+            key = (q.node, q.index)
+            if key in out:
+                raise ValueError(f"duplicate write identity {key}")
+            out[key] = q.arg
+    return out
+
+
+def gather_value(
+    op: AggregationOperator,
+    recent: Mapping[int, int],
+    registry: WriteRegistry,
+) -> Any:
+    """Section 5's extended ``f``: aggregate the writes named by a gather's
+    ``recentwrites`` map (index -1 contributes the identity)."""
+    acc = op.identity
+    for node in sorted(recent):
+        idx = recent[node]
+        if idx >= 0:
+            key = (node, idx)
+            if key not in registry:
+                raise ValueError(f"gather references unknown write {key}")
+            acc = op.combine(acc, op.lift(registry[key]))
+    return acc
+
+
+def values_equal(a: Any, b: Any, rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> bool:
+    """Equality with float tolerance (aggregation reorders float sums)."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(values_equal(x, y, rel_tol, abs_tol) for x, y in zip(a, b))
+    return a == b
+
+
+def check_compatibility(
+    op: AggregationOperator,
+    combine_req: Request,
+    gather_req: Request,
+    registry: WriteRegistry,
+) -> bool:
+    """Section 5's request compatibility: same node/index, and the combine's
+    retval equals ``f`` of the gather's retval."""
+    if combine_req.op != COMBINE or gather_req.op != GATHER:
+        raise ValueError("need a combine and a gather request")
+    if combine_req.node != gather_req.node or combine_req.index != gather_req.index:
+        return False
+    expected = gather_value(op, gather_req.retval, registry)
+    return values_equal(combine_req.retval, expected)

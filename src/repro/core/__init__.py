@@ -1,0 +1,56 @@
+"""The paper's primary contribution: the lease-based aggregation mechanism.
+
+* :mod:`repro.core.messages` — the four message types of Figure 1
+  (``probe``, ``response``, ``update``, ``release``).
+* :mod:`repro.core.mechanism` — :class:`~repro.core.mechanism.LeaseNode`,
+  a faithful implementation of the Figure-1 automaton (transitions
+  ``T1``–``T6`` and the helper procedures), transport-agnostic.
+* :mod:`repro.core.policy` — the policy stub interface (the underlined
+  calls in Figure 1).
+* :mod:`repro.core.rww` — the paper's online policy **RWW** (Section 4).
+* :mod:`repro.core.policies` — the wider policy family: generic
+  ``(a, b)``-algorithms on observable workloads, always-lease
+  (Astrolabe-like) and never-lease (MDS-2-like) extremes.
+* :mod:`repro.core.engine` — sequential (Section 2) and concurrent
+  (Section 5) execution engines sharing the same node code.
+* :mod:`repro.core.ghost` — Section 5's ghost-log instrumentation
+  (``log``/``wlog``/``gwlog``) for the causal-consistency analysis.
+"""
+
+from repro.core.messages import Message, Probe, Release, Response, Update
+from repro.core.policy import LeasePolicy
+from repro.core.rww import RWWPolicy
+from repro.core.policies import (
+    ABPolicy,
+    AlwaysLeasePolicy,
+    NeverLeasePolicy,
+    WriteOncePolicy,
+    HeterogeneousABPolicy,
+)
+from repro.core.mechanism import LeaseNode
+from repro.core.engine import (
+    AggregationSystem,
+    ConcurrentAggregationSystem,
+    ExecutionResult,
+    ScheduledRequest,
+)
+
+__all__ = [
+    "Message",
+    "Probe",
+    "Response",
+    "Update",
+    "Release",
+    "LeasePolicy",
+    "RWWPolicy",
+    "ABPolicy",
+    "AlwaysLeasePolicy",
+    "NeverLeasePolicy",
+    "WriteOncePolicy",
+    "HeterogeneousABPolicy",
+    "LeaseNode",
+    "AggregationSystem",
+    "ConcurrentAggregationSystem",
+    "ExecutionResult",
+    "ScheduledRequest",
+]

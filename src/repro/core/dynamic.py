@@ -1,0 +1,267 @@
+"""Dynamic trees: node join/leave with lease revocation (extension).
+
+The paper's tree is static, but the aggregation frameworks it targets
+(SDIMS's DHT trees, Astrolabe's zones) reconfigure as machines come and
+go.  :class:`DynamicAggregationSystem` extends the sequential engine with
+leaf attach/detach between requests (in quiescent states), preserving
+strict consistency:
+
+* **Why revocation is necessary.**  A lease ``u → v`` promises that ``v``'s
+  cached ``aval`` covers all of ``subtree(u, v)``.  When that subtree gains
+  or loses a member, the promise is void: a new machine's writes would
+  never propagate (it holds no leases), and a departed machine's value
+  would linger in caches forever.  The change site therefore *revokes*
+  every lease it granted, and revocation cascades down the lease graph
+  (each revoked node's own grants relied on the revoked coverage —
+  Lemma 3.2).  Subsequent combines re-pull and re-lease through the
+  ordinary protocol.
+* **Cost accounting.**  Each revocation is one ``revoke`` message, counted
+  in the same per-edge statistics, so reconfiguration cost is measurable
+  (see the EXT-DYN benchmark).
+* **What survives.**  Leases *toward* the change site from other subtrees
+  are untouched (their coverage is unaffected), so reconfiguration cost is
+  proportional to the revoked lease graph, not the tree.
+
+Node ids are never reused: a removed leaf's id stays retired, and combine
+values aggregate over the *live* membership only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.engine import PolicyFactory
+from repro.core.mechanism import LeaseNode
+from repro.core.rww import RWWPolicy
+from repro.ops.monoid import AggregationOperator
+from repro.ops.standard import SUM
+from repro.sim.network import SynchronousNetwork
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceLog
+from repro.tree.topology import Tree
+from repro.workloads.requests import Request
+
+
+class DynamicAggregationSystem:
+    """Sequential aggregation over a tree whose leaves may come and go.
+
+    Starts from an initial tree; ``add_leaf(parent)`` grows a fresh node
+    under ``parent`` and returns its id; ``remove_leaf(node)`` retires a
+    current leaf.  Both run the revocation protocol and drain the network
+    before returning, so every topology change completes in a quiescent
+    state.  Requests execute exactly as in
+    :class:`~repro.core.engine.AggregationSystem`.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        op: AggregationOperator = SUM,
+        policy_factory: PolicyFactory = RWWPolicy,
+        trace_enabled: bool = False,
+    ) -> None:
+        self.op = op
+        self.policy_factory = policy_factory
+        self.trace = TraceLog(enabled=trace_enabled)
+        self.stats = MessageStats()
+        self._next_id = tree.n
+        self._edges: Set[Tuple[int, int]] = {tuple(sorted(e)) for e in tree.edges}
+        self._live: Set[int] = set(tree.nodes())
+        self.tree = tree
+        self.network = SynchronousNetwork(
+            tree, receiver=self._receive, stats=self.stats, trace=self.trace
+        )
+        self.nodes: Dict[int, LeaseNode] = {}
+        for i in tree.nodes():
+            self.nodes[i] = self._make_node(i, tree)
+        self.executed: List[Request] = []
+
+    # ----------------------------------------------------------- plumbing
+    def _make_node(self, node_id: int, tree: Tree) -> LeaseNode:
+        def send(dst: int, message) -> None:
+            self.network.send(node_id, dst, message)
+
+        return LeaseNode(
+            node_id, tree, self.op, self.policy_factory(), send=send, trace=self.trace
+        )
+
+    def _receive(self, src: int, dst: int, message) -> None:
+        self.nodes[dst].on_message(src, message)
+
+    # ------------------------------------------------------------- topology
+    @property
+    def live_nodes(self) -> Set[int]:
+        """Ids of current members."""
+        return set(self._live)
+
+    def _current_tree(self) -> Tree:
+        return self.tree
+
+    def _set_topology(self, edges: Set[Tuple[int, int]]) -> Tree:
+        """Build the internal Tree for the live membership.
+
+        The Tree class requires dense ids 0..n-1, so the dynamic engine
+        keeps a dense *view*: live external ids are mapped onto dense
+        internal ids.  To keep the rest of the stack simple we instead
+        maintain the invariant that external ids stay dense: removals are
+        only allowed for the id-order-irrelevant leaf case and we compact
+        by remapping the highest live id onto the hole.  See
+        :meth:`remove_leaf` for the remap contract.
+        """
+        n = len(self._live)
+        assert set(range(n)) == self._live, "internal id compaction broken"
+        return Tree(n, sorted(edges))
+
+    def add_leaf(self, parent: int) -> int:
+        """Attach a fresh node under ``parent``; returns the new node's id.
+
+        Revokes every lease ``parent`` granted (their coverage changed),
+        cascading through the lease graph, then splices the new node in.
+        """
+        if parent not in self._live:
+            raise ValueError(f"parent {parent} is not a live node")
+        if not self.network.is_quiescent():
+            raise RuntimeError("topology change while messages are in transit")
+        # 1. Revoke the grants whose coverage is about to change.
+        self.nodes[parent].revoke_granted()
+        self.network.run_to_quiescence()
+        # 2. Splice in the new node.
+        new_id = len(self._live)
+        self._live.add(new_id)
+        self._edges.add(tuple(sorted((parent, new_id))))
+        new_tree = self._set_topology(self._edges)
+        self.tree = new_tree
+        self.network.tree = new_tree
+        for node in self.nodes.values():
+            node.tree = new_tree
+        self.nodes[new_id] = self._make_node(new_id, new_tree)
+        self.nodes[parent].attach_neighbor(new_id, new_tree)
+        self.nodes[new_id].nbrs = new_tree.neighbors(new_id)
+        return new_id
+
+    def remove_leaf(self, node: int) -> Dict[int, int]:
+        """Retire leaf ``node``; returns the id remapping applied.
+
+        The engine keeps ids dense, so the highest live id is renamed onto
+        the vacated slot (unless the leaf *is* the highest id).  The
+        returned dict maps old id -> new id for every renamed node (empty
+        or a single entry).  Callers tracking external names should apply
+        it to their own tables.
+        """
+        if node not in self._live:
+            raise ValueError(f"node {node} is not live")
+        if len(self._live) == 1:
+            raise ValueError("cannot remove the last node")
+        neighbors = self.tree.neighbors(node)
+        if len(neighbors) != 1:
+            raise ValueError(f"node {node} is not a leaf (degree {len(neighbors)})")
+        if not self.network.is_quiescent():
+            raise RuntimeError("topology change while messages are in transit")
+        parent = neighbors[0]
+        # 1. The parent's grants covered the departing leaf: revoke them.
+        self.nodes[parent].revoke_granted()
+        self.network.run_to_quiescence()
+        # 2. Drop the leaf and its edge.
+        self._edges.discard(tuple(sorted((node, parent))))
+        self._live.discard(node)
+        del self.nodes[node]
+        self.nodes[parent].detach_neighbor(node, self.tree)  # tree updated below
+        # 3. Compact ids: rename the highest id onto the hole.
+        remap: Dict[int, int] = {}
+        highest = len(self._live)  # == max id value still expected
+        if node != highest:
+            remap[highest] = node
+            self._rename_node(highest, node)
+        new_tree = self._set_topology(self._edges)
+        self.tree = new_tree
+        self.network.tree = new_tree
+        for nid, ln in self.nodes.items():
+            ln.tree = new_tree
+            ln.nbrs = new_tree.neighbors(nid)
+        return remap
+
+    def _rename_node(self, old: int, new: int) -> None:
+        """Rename node id ``old`` to ``new`` across all state tables."""
+        ln = self.nodes.pop(old)
+        ln.id = new
+
+        def send(dst: int, message, node_id=new) -> None:
+            self.network.send(node_id, dst, message)
+
+        ln._send = send
+        self.nodes[new] = ln
+        self._live.discard(old)
+        self._live.add(new)
+        new_edges = set()
+        for a, b in self._edges:
+            a2 = new if a == old else a
+            b2 = new if b == old else b
+            new_edges.add(tuple(sorted((a2, b2))))
+        self._edges = new_edges
+        # Neighbor tables at the renamed node's neighbors.
+        for other in self.nodes.values():
+            if other is ln:
+                continue
+            for table in (other.taken, other.granted, other.aval, other.uaw):
+                if old in table:
+                    table[new] = table.pop(old)
+            if old in other.snt:
+                other.snt[new] = other.snt.pop(old)
+            if old in other.pndg:
+                other.pndg.discard(old)
+                other.pndg.add(new)
+            other.sntupdates = [
+                ((new if t[0] == old else t[0]), t[1], t[2]) for t in other.sntupdates
+            ]
+            # Policy per-neighbor tables (lt/cc dicts where present).
+            for attr in ("lt", "cc"):
+                d = getattr(other.policy, attr, None)
+                if isinstance(d, dict) and old in d:
+                    d[new] = d.pop(old)
+
+    # ------------------------------------------------------------- requests
+    def execute(self, request: Request) -> Request:
+        """Execute one request to quiescence (see AggregationSystem)."""
+        if request.node not in self._live:
+            raise ValueError(f"request targets retired node {request.node}")
+        node = self.nodes[request.node]
+        if request.op == "write":
+            node.write(request)
+        elif request.op == "combine":
+            done: List[Request] = []
+            node.begin_combine(request, done.append)
+            self.network.run_to_quiescence()
+            if not done:
+                raise RuntimeError("combine did not complete at quiescence")
+        else:
+            raise ValueError(f"cannot execute op {request.op!r}")
+        self.network.run_to_quiescence()
+        self.executed.append(request)
+        return request
+
+    # ----------------------------------------------------------- invariants
+    def check_quiescent_invariants(self) -> None:
+        """The static engine's invariant battery, on the current topology."""
+        if not self.network.is_quiescent():
+            raise AssertionError("network not quiescent")
+        for u, v in self.tree.directed_edges():
+            if self.nodes[u].taken[v] != self.nodes[v].granted[u]:
+                raise AssertionError(f"Lemma 3.1 violated on edge ({u},{v})")
+        for u in self.tree.nodes():
+            nu = self.nodes[u]
+            for v in nu.nbrs:
+                if nu.granted[v]:
+                    for w in nu.nbrs:
+                        if w != v and not nu.taken[w]:
+                            raise AssertionError(f"Lemma 3.2 violated at {u}")
+            if not nu.quiescent_state_ok():
+                raise AssertionError(f"Lemma 3.4 violated at {u}")
+
+    def lease_graph_edges(self) -> List[Tuple[int, int]]:
+        """Directed granted edges in the current topology."""
+        return [
+            (u, v)
+            for u in self.tree.nodes()
+            for v in self.nodes[u].nbrs
+            if self.nodes[u].granted[v]
+        ]

@@ -1,0 +1,329 @@
+"""Execution engines driving the lease mechanism.
+
+* :class:`AggregationSystem` — the **sequential** model of Section 2: each
+  request is initiated in a quiescent state and runs to quiescence before
+  the next begins.  All of the paper's competitive-analysis results are
+  stated for this model.
+* :class:`ConcurrentAggregationSystem` — the **concurrent** model of
+  Section 5: requests are initiated at arbitrary virtual times over a
+  latency-ful network; combines may overlap with writes and each other.
+  This is the setting of the causal-consistency theorem (Theorem 4).
+
+Both engines run identical :class:`~repro.core.mechanism.LeaseNode` code and
+produce an :class:`ExecutionResult` with the executed requests (retvals and
+indices filled in), full per-edge/per-type message statistics, traces, and —
+when ghosts are enabled — the Section-5 logs for consistency checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.mechanism import LeaseNode
+from repro.core.policy import LeasePolicy
+from repro.core.rww import RWWPolicy
+from repro.ops.monoid import AggregationOperator
+from repro.ops.standard import SUM
+from repro.sim.channel import LatencyModel
+from repro.sim.network import Network, SynchronousNetwork
+from repro.sim.scheduler import Simulator
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceLog
+from repro.tree.topology import Tree
+from repro.workloads.requests import COMBINE, WRITE, Request
+
+#: Builds a fresh policy instance for one node.
+PolicyFactory = Callable[[], LeasePolicy]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a request sequence through an engine.
+
+    Attributes
+    ----------
+    requests:
+        The executed requests in initiation order, with ``retval`` /
+        ``index`` / timestamps filled in.
+    stats:
+        Per-directed-edge, per-kind message counts.
+    trace:
+        The structured trace (empty unless tracing was enabled).
+    nodes:
+        The live node objects (for state inspection and ghost logs).
+    tree:
+        The topology the run used.
+    """
+
+    requests: List[Request]
+    stats: MessageStats
+    trace: TraceLog
+    nodes: Dict[int, LeaseNode]
+    tree: Tree
+
+    @property
+    def total_messages(self) -> int:
+        """The paper's cost ``C_A(σ)`` for this run."""
+        return self.stats.total
+
+    def combine_results(self) -> List[Any]:
+        """Retvals of the combine requests, in initiation order."""
+        return [q.retval for q in self.requests if q.op == COMBINE]
+
+    def ghost_logs(self) -> Dict[int, Any]:
+        """node id -> :class:`~repro.core.ghost.GhostLog` (ghost runs only)."""
+        out = {}
+        for i, node in self.nodes.items():
+            if node.ghost is not None:
+                out[i] = node.ghost
+        return out
+
+
+class AggregationSystem:
+    """Sequential execution engine (Section 2's quiescent-state model).
+
+    Parameters
+    ----------
+    tree:
+        The aggregation tree.
+    op:
+        The aggregation operator (default: :data:`~repro.ops.standard.SUM`).
+    policy_factory:
+        Zero-argument callable producing a fresh policy per node
+        (default: :class:`~repro.core.rww.RWWPolicy`).
+    ghost:
+        Enable Section-5 ghost logs.
+    trace_enabled:
+        Record structured trace events.
+
+    Examples
+    --------
+    >>> from repro.tree import path_tree
+    >>> from repro.workloads import write, combine
+    >>> sys_ = AggregationSystem(path_tree(3))
+    >>> _ = sys_.execute(write(0, 5.0))
+    >>> sys_.execute(combine(2)).retval
+    5.0
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        op: AggregationOperator = SUM,
+        policy_factory: PolicyFactory = RWWPolicy,
+        ghost: bool = False,
+        trace_enabled: bool = False,
+    ) -> None:
+        self.tree = tree
+        self.op = op
+        self.trace = TraceLog(enabled=trace_enabled)
+        self.stats = MessageStats()
+        self.network = SynchronousNetwork(
+            tree, receiver=self._receive, stats=self.stats, trace=self.trace
+        )
+        self.nodes: Dict[int, LeaseNode] = {}
+        for i in tree.nodes():
+            self.nodes[i] = LeaseNode(
+                i,
+                tree,
+                op,
+                policy_factory(),
+                send=self._make_send(i),
+                trace=self.trace,
+                ghost=ghost,
+            )
+        self.executed: List[Request] = []
+
+    def _make_send(self, src: int) -> Callable[[int, Any], None]:
+        def send(dst: int, message: Any) -> None:
+            self.network.send(src, dst, message)
+
+        return send
+
+    def _receive(self, src: int, dst: int, message: Any) -> None:
+        self.nodes[dst].on_message(src, message)
+
+    # --------------------------------------------------------------- driving
+    def execute(self, request: Request) -> Request:
+        """Execute one request to quiescence and return it (retval filled)."""
+        if not self.network.is_quiescent():
+            raise RuntimeError("request initiated while messages are in transit")
+        node = self.nodes[request.node]
+        if request.op == WRITE:
+            node.write(request)
+        elif request.op == COMBINE:
+            done: List[Request] = []
+            if request.scope is None:
+                node.begin_combine(request, done.append)
+            else:
+                node.begin_scoped_combine(request, done.append)
+            self.network.run_to_quiescence()
+            if not done:
+                raise RuntimeError(
+                    f"combine at node {request.node} did not complete at quiescence"
+                )
+        else:
+            raise ValueError(f"cannot execute op {request.op!r}")
+        self.network.run_to_quiescence()
+        self.executed.append(request)
+        return request
+
+    def run(self, sequence: Sequence[Request]) -> ExecutionResult:
+        """Execute a whole sequence sequentially."""
+        for q in sequence:
+            self.execute(q)
+        return self.result()
+
+    def result(self) -> ExecutionResult:
+        """Snapshot the execution outcome so far."""
+        return ExecutionResult(
+            requests=list(self.executed),
+            stats=self.stats,
+            trace=self.trace,
+            nodes=self.nodes,
+            tree=self.tree,
+        )
+
+    # ----------------------------------------------------------- invariants
+    def check_quiescent_invariants(self) -> None:
+        """Assert the paper's quiescent-state lemmas on the current state.
+
+        * Lemma 3.1: ``u.taken[v] == v.granted[u]`` for every edge.
+        * Lemma 3.2: ``u.granted[v]`` implies ``u.taken[w]`` for all other
+          neighbors ``w``.
+        * Lemma 3.4: every ``pndg`` and ``snt`` is empty.
+        * Transport quiescence: no message in transit.
+        """
+        if not self.network.is_quiescent():
+            raise AssertionError("network not quiescent: messages in transit")
+        for u, v in self.tree.directed_edges():
+            nu, nv = self.nodes[u], self.nodes[v]
+            if nu.taken[v] != nv.granted[u]:
+                raise AssertionError(
+                    f"Lemma 3.1 violated on edge ({u},{v}): "
+                    f"{u}.taken[{v}]={nu.taken[v]} but {v}.granted[{u}]={nv.granted[u]}"
+                )
+        for u in self.tree.nodes():
+            nu = self.nodes[u]
+            for v in nu.nbrs:
+                if nu.granted[v]:
+                    for w in nu.nbrs:
+                        if w != v and not nu.taken[w]:
+                            raise AssertionError(
+                                f"Lemma 3.2 violated at {u}: granted[{v}] "
+                                f"but taken[{w}] is false"
+                            )
+            if not nu.quiescent_state_ok():
+                raise AssertionError(f"Lemma 3.4 violated at {u}: pndg/snt not empty")
+
+    def lease_graph_edges(self) -> List[tuple]:
+        """Directed edges (u, v) with ``u.granted[v]`` — the lease graph
+        G(Q) of Section 3.2 for the current quiescent state."""
+        return [
+            (u, v)
+            for u in self.tree.nodes()
+            for v in self.nodes[u].nbrs
+            if self.nodes[u].granted[v]
+        ]
+
+
+@dataclass(order=True)
+class ScheduledRequest:
+    """A request to initiate at a given virtual time (concurrent engine)."""
+
+    time: float
+    request: Request = field(compare=False)
+
+
+class ConcurrentAggregationSystem:
+    """Concurrent execution engine over a latency-ful FIFO network.
+
+    Requests are initiated at scheduled virtual times; combines complete
+    whenever their probe rounds finish.  Ghost logs default to on because
+    this engine exists chiefly for the causal-consistency experiments.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        op: AggregationOperator = SUM,
+        policy_factory: PolicyFactory = RWWPolicy,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        ghost: bool = True,
+        trace_enabled: bool = False,
+    ) -> None:
+        self.tree = tree
+        self.op = op
+        self.sim = Simulator()
+        self.trace = TraceLog(enabled=trace_enabled)
+        self.stats = MessageStats()
+        self.network = Network(
+            tree,
+            self.sim,
+            receiver=self._receive,
+            latency=latency,
+            seed=seed,
+            stats=self.stats,
+            trace=self.trace,
+        )
+        self.nodes: Dict[int, LeaseNode] = {}
+        for i in tree.nodes():
+            self.nodes[i] = LeaseNode(
+                i,
+                tree,
+                op,
+                policy_factory(),
+                send=self._make_send(i),
+                trace=self.trace,
+                ghost=ghost,
+                clock=lambda: self.sim.now,
+            )
+        self.executed: List[Request] = []
+        self._outstanding = 0
+
+    def _make_send(self, src: int) -> Callable[[int, Any], None]:
+        def send(dst: int, message: Any) -> None:
+            self.network.send(src, dst, message)
+
+        return send
+
+    def _receive(self, src: int, dst: int, message: Any) -> None:
+        self.nodes[dst].on_message(src, message)
+
+    def _initiate(self, request: Request) -> None:
+        request.initiated_at = self.sim.now
+        node = self.nodes[request.node]
+        self.executed.append(request)
+        if request.op == WRITE:
+            node.write(request)
+        elif request.op == COMBINE:
+            self._outstanding += 1
+
+            def done(_req: Request) -> None:
+                self._outstanding -= 1
+
+            if request.scope is None:
+                node.begin_combine(request, done)
+            else:
+                node.begin_scoped_combine(request, done)
+        else:
+            raise ValueError(f"cannot execute op {request.op!r}")
+
+    def run(self, schedule: Sequence[ScheduledRequest]) -> ExecutionResult:
+        """Initiate every scheduled request and run the network to drain."""
+        for item in schedule:
+            self.sim.schedule_at(item.time, lambda q=item.request: self._initiate(q))
+        self.sim.run()
+        if self._outstanding:
+            raise RuntimeError(f"{self._outstanding} combine(s) never completed")
+        if not self.network.is_quiescent():
+            raise RuntimeError("network failed to drain")
+        return ExecutionResult(
+            requests=list(self.executed),
+            stats=self.stats,
+            trace=self.trace,
+            nodes=self.nodes,
+            tree=self.tree,
+        )

@@ -1,0 +1,127 @@
+"""The four message types of the lease mechanism (Figure 1).
+
+* ``probe()`` — sent toward un-leased subtrees during a combine (pull).
+* ``response(x, flag)`` — answers a probe with the subtree aggregate ``x``
+  and ``flag`` = whether a lease was granted alongside.
+* ``update(x, id)`` — pushed along granted leases on writes; ``id`` is the
+  sender-local sequence number from ``newid()``.
+* ``release(S)`` — breaks a lease; ``S`` is the ``uaw`` id set the releaser
+  accumulated (used by ``onrelease`` for retroactive accounting).
+
+Messages optionally carry ``wlog`` — Section 5's ghost write-log snapshot —
+when ghost instrumentation is enabled; the mechanism never branches on it,
+so enabling ghosts cannot change message behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Tuple
+
+#: Message kind strings (used by MessageStats accounting).
+PROBE = "probe"
+RESPONSE = "response"
+UPDATE = "update"
+RELEASE = "release"
+REVOKE = "revoke"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class so transports can dispatch on ``.kind``."""
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Probe(Message):
+    """A pull request for a subtree aggregate."""
+
+    @property
+    def kind(self) -> str:
+        return PROBE
+
+
+@dataclass(frozen=True)
+class Response(Message):
+    """Answer to a probe.
+
+    Attributes
+    ----------
+    x:
+        ``subval`` of the sender with respect to the receiver: the aggregate
+        over the sender-side subtree.
+    flag:
+        True when the sender granted the receiver a lease with this response.
+    wlog:
+        Ghost write-log snapshot (Section 5), or ``None`` when ghosts are
+        disabled.
+    """
+
+    x: Any
+    flag: bool
+    wlog: Optional[Tuple[Any, ...]] = None
+
+    @property
+    def kind(self) -> str:
+        return RESPONSE
+
+
+@dataclass(frozen=True)
+class Update(Message):
+    """Pushed aggregate refresh along a granted lease.
+
+    Attributes
+    ----------
+    x:
+        New ``subval`` of the sender with respect to the receiver.
+    id:
+        Sender-local update identifier (monotone per sender).
+    wlog:
+        Ghost write-log snapshot, or ``None``.
+    """
+
+    x: Any
+    id: int
+    wlog: Optional[Tuple[Any, ...]] = None
+
+    @property
+    def kind(self) -> str:
+        return UPDATE
+
+
+@dataclass(frozen=True)
+class Revoke(Message):
+    """Topology-change lease revocation (dynamic-tree extension).
+
+    Sent by a granter whose coverage became invalid (a neighbor joined or
+    left its side of the tree): the receiver's ``taken`` lease from the
+    sender is void.  Because the receiver's own granted leases relied on
+    that coverage (Lemma 3.2), revocation cascades down the lease graph.
+    Not part of the paper's Figure 1; used only by
+    :class:`repro.core.dynamic.DynamicAggregationSystem`.
+    """
+
+    @property
+    def kind(self) -> str:
+        return REVOKE
+
+
+@dataclass(frozen=True)
+class Release(Message):
+    """Breaks the lease held by the sender from the receiver.
+
+    Attributes
+    ----------
+    S:
+        The sender's ``uaw`` set for the receiver: ids of updates received
+        over the lease since the sender's last combine-side activity.
+    """
+
+    S: FrozenSet[int]
+
+    @property
+    def kind(self) -> str:
+        return RELEASE

@@ -1,0 +1,219 @@
+"""The wider lease-policy family around RWW.
+
+* :class:`ABPolicy` — a generic ``(a, b)``-algorithm (Section 4.2): grant the
+  lease after ``a`` consecutive combine requests in ``σ(u, v)``, break it
+  after ``b`` consecutive write requests.  ``ABPolicy(1, 2)`` behaves exactly
+  like RWW (asserted by tests).  For ``a > 1`` the combine counter is driven
+  by the events a node can actually observe (probes from the neighbor;
+  resets on local writes and on updates arriving from its own side), which
+  is exact on the 2-node adversary tree of Theorem 3 and best-effort on
+  larger trees — the paper defines the class behaviourally, and only uses
+  it on the 2-node tree.
+* :class:`AlwaysLeasePolicy` — ``(1, ∞)``: grant on first combine, never
+  break.  After warm-up every write floods the tree: Astrolabe-like
+  behaviour inside the lease mechanism.
+* :class:`NeverLeasePolicy` — never grant: every combine pulls from the
+  whole tree, writes are free.  MDS-2-like behaviour.
+* :class:`WriteOncePolicy` — ``(1, 1)``: break on the first write.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.core.policy import LeasePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mechanism import LeaseNode
+
+
+class ABPolicy(LeasePolicy):
+    """Generic ``(a, b)``-algorithm.
+
+    Parameters
+    ----------
+    a:
+        Consecutive combine requests in ``σ(u, v)`` before the lease is
+        granted (``a >= 1``).
+    b:
+        Consecutive write requests in ``σ(u, v)`` before the lease is
+        broken (``b >= 1``).
+    """
+
+    def __init__(self, a: int, b: int) -> None:
+        if a < 1 or b < 1:
+            raise ValueError(f"need a >= 1 and b >= 1, got a={a}, b={b}")
+        self.a = a
+        self.b = b
+        self.lt: Dict[int, int] = {}
+        self.cc: Dict[int, int] = {}
+
+    def bind(self, node: "LeaseNode") -> None:
+        self.lt = {v: 0 for v in node.nbrs}
+        self.cc = {v: 0 for v in node.nbrs}
+
+    # ------------------------------------------------------- event callbacks
+    def on_combine(self, node: "LeaseNode") -> None:
+        # A combine here refreshes every taken lease's write tolerance.
+        for v in node.tkn():
+            self.lt[v] = self.b
+
+    def on_write(self, node: "LeaseNode") -> None:
+        # A local write is a write in σ(u, v) for every neighbor v: it
+        # interrupts any consecutive-combine streak.
+        for v in node.nbrs:
+            self.cc[v] = 0
+
+    def probe_rcvd(self, node: "LeaseNode", w: int) -> None:
+        # A probe from w is a combine in subtree(w, u): it counts toward
+        # granting w a lease and refreshes the other taken leases.
+        self.cc[w] += 1
+        for v in node.tkn():
+            if v != w:
+                self.lt[v] = self.b
+                self.cc[v] = 0
+
+    def response_rcvd(self, node: "LeaseNode", flag: bool, w: int) -> None:
+        if flag:
+            self.lt[w] = self.b
+
+    def update_rcvd(self, node: "LeaseNode", w: int) -> None:
+        if node.isgoodforrelease(w):
+            self.lt[w] -= 1
+        # An update from w is a write on w's side: for every other neighbor
+        # v it is a write in σ(u, v), breaking v's combine streak.
+        for v in node.nbrs:
+            if v != w:
+                self.cc[v] = 0
+
+    # ------------------------------------------------------------- decisions
+    def set_lease(self, node: "LeaseNode", w: int) -> bool:
+        if self.cc[w] >= self.a:
+            self.cc[w] = 0
+            return True
+        return False
+
+    def break_lease(self, node: "LeaseNode", v: int) -> bool:
+        return self.lt[v] <= 0
+
+    def release_policy(self, node: "LeaseNode", v: int) -> None:
+        self.lt[v] = self.lt[v] - len(node.uaw[v])
+
+    # -------------------------------------------- dynamic-tree extension
+    def neighbor_attached(self, node: "LeaseNode", v: int) -> None:
+        self.lt[v] = 0
+        self.cc[v] = 0
+
+    def neighbor_detached(self, node: "LeaseNode", v: int) -> None:
+        self.lt.pop(v, None)
+        self.cc.pop(v, None)
+
+
+class AlwaysLeasePolicy(LeasePolicy):
+    """Grant on first combine, never break — Astrolabe-like after warm-up."""
+
+    def set_lease(self, node: "LeaseNode", w: int) -> bool:
+        return True
+
+    def break_lease(self, node: "LeaseNode", v: int) -> bool:
+        return False
+
+
+class NeverLeasePolicy(LeasePolicy):
+    """Never grant a lease — MDS-2-like pull-on-every-read."""
+
+    def set_lease(self, node: "LeaseNode", w: int) -> bool:
+        return False
+
+    def break_lease(self, node: "LeaseNode", v: int) -> bool:
+        # Unreachable in practice: no lease is ever taken without a grant.
+        return True
+
+
+class WriteOncePolicy(ABPolicy):
+    """The ``(1, 1)``-algorithm: break a lease on the first write under it."""
+
+    def __init__(self) -> None:
+        super().__init__(1, 1)
+
+
+class HeterogeneousABPolicy(LeasePolicy):
+    """Per-neighbor (a, b) parameters — SDIMS-style per-edge tuning.
+
+    SDIMS exposes update-propagation aggressiveness as a per-attribute,
+    per-level knob; the analogous per-*edge* knob here assigns each
+    neighbor its own grant threshold ``a`` and break tolerance ``b``
+    (falling back to ``default``).  A node can thus treat a read-hot
+    subtree with ``(1, 8)`` (push eagerly, tolerate writes) and a
+    write-hot one with ``(2, 1)`` (grant reluctantly, break fast).
+
+    Parameters
+    ----------
+    params:
+        Mapping neighbor id -> (a, b).
+    default:
+        (a, b) for neighbors not in ``params`` (default RWW's (1, 2)).
+    """
+
+    def __init__(self, params: "dict[int, tuple[int, int]]" = None,
+                 default: "tuple[int, int]" = (1, 2)) -> None:
+        self.params = dict(params or {})
+        self.default = tuple(default)
+        for a, b in list(self.params.values()) + [self.default]:
+            if a < 1 or b < 1:
+                raise ValueError(f"need a >= 1 and b >= 1, got ({a}, {b})")
+        self.lt: Dict[int, int] = {}
+        self.cc: Dict[int, int] = {}
+
+    def _ab(self, v: int) -> "tuple[int, int]":
+        return self.params.get(v, self.default)
+
+    def bind(self, node: "LeaseNode") -> None:
+        self.lt = {v: 0 for v in node.nbrs}
+        self.cc = {v: 0 for v in node.nbrs}
+
+    def on_combine(self, node: "LeaseNode") -> None:
+        for v in node.tkn():
+            self.lt[v] = self._ab(v)[1]
+
+    def on_write(self, node: "LeaseNode") -> None:
+        for v in node.nbrs:
+            self.cc[v] = 0
+
+    def probe_rcvd(self, node: "LeaseNode", w: int) -> None:
+        self.cc[w] += 1
+        for v in node.tkn():
+            if v != w:
+                self.lt[v] = self._ab(v)[1]
+                self.cc[v] = 0
+
+    def response_rcvd(self, node: "LeaseNode", flag: bool, w: int) -> None:
+        if flag:
+            self.lt[w] = self._ab(w)[1]
+
+    def update_rcvd(self, node: "LeaseNode", w: int) -> None:
+        if node.isgoodforrelease(w):
+            self.lt[w] -= 1
+        for v in node.nbrs:
+            if v != w:
+                self.cc[v] = 0
+
+    def set_lease(self, node: "LeaseNode", w: int) -> bool:
+        if self.cc[w] >= self._ab(w)[0]:
+            self.cc[w] = 0
+            return True
+        return False
+
+    def break_lease(self, node: "LeaseNode", v: int) -> bool:
+        return self.lt[v] <= 0
+
+    def release_policy(self, node: "LeaseNode", v: int) -> None:
+        self.lt[v] = self.lt[v] - len(node.uaw[v])
+
+    def neighbor_attached(self, node: "LeaseNode", v: int) -> None:
+        self.lt[v] = 0
+        self.cc[v] = 0
+
+    def neighbor_detached(self, node: "LeaseNode", v: int) -> None:
+        self.lt.pop(v, None)
+        self.cc.pop(v, None)

@@ -1,0 +1,108 @@
+"""Randomized lease policies (extension).
+
+The paper analyzes deterministic policies; randomization is the classic
+next step for online problems (e.g. randomized ski rental beats the
+deterministic 2-competitive bound against oblivious adversaries).  The
+per-edge lease problem embeds a rent-or-buy trade-off — keep paying
+updates (rent) or pay the release + future re-pull (buy) — so a
+memoryless coin-flip break rule is the natural candidate:
+
+* :class:`RandomBreakPolicy` — grant on the first combine (like RWW);
+  after each write-update, break the lease with probability ``p``.
+  ``p = 1/2`` makes the *expected* number of tolerated writes equal to
+  RWW's two.
+
+These policies stay within the lease mechanism, so all of Section 3's
+guarantees (strict consistency sequentially, causal consistency
+concurrently) hold automatically — only the *cost* changes.  The EXT-RAND
+ablation benchmark measures their expected adversarial ratios; because the
+relevant adversary here is adaptive (it observes whether the lease broke
+via its next request's cost), randomization does not beat 5/2 in this
+model, and the measurements show exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict
+
+from repro.core.policy import LeasePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mechanism import LeaseNode
+
+
+class RandomBreakPolicy(LeasePolicy):
+    """Grant on first combine; break after each write w.p. ``p``.
+
+    Parameters
+    ----------
+    p:
+        Break probability per observed write-update (0 < p <= 1).
+    seed:
+        Seed for this node's private coin (each node must have its own
+        policy instance, hence its own stream).
+
+    The implementation reuses RWW's ``lt`` bookkeeping shape so the
+    mechanism's ``onrelease`` retro-accounting stays meaningful: ``lt[v]``
+    is 1 while the lease is "armed" and drops to 0 the moment the coin
+    chooses to break.  Relay retro-accounting (``release_policy``) flips
+    one coin per retroactively charged write.
+    """
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        if not (0.0 < p <= 1.0):
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = p
+        self.rng = random.Random(seed)
+        self.lt: Dict[int, int] = {}
+
+    def bind(self, node: "LeaseNode") -> None:
+        self.lt = {v: 0 for v in node.nbrs}
+
+    def on_combine(self, node: "LeaseNode") -> None:
+        for v in node.tkn():
+            self.lt[v] = 1
+
+    def probe_rcvd(self, node: "LeaseNode", w: int) -> None:
+        for v in node.tkn():
+            if v != w:
+                self.lt[v] = 1
+
+    def response_rcvd(self, node: "LeaseNode", flag: bool, w: int) -> None:
+        if flag:
+            self.lt[w] = 1
+
+    def update_rcvd(self, node: "LeaseNode", w: int) -> None:
+        if node.isgoodforrelease(w) and self.rng.random() < self.p:
+            self.lt[w] = 0
+
+    def set_lease(self, node: "LeaseNode", w: int) -> bool:
+        return True
+
+    def break_lease(self, node: "LeaseNode", v: int) -> bool:
+        return self.lt[v] <= 0
+
+    def release_policy(self, node: "LeaseNode", v: int) -> None:
+        for _ in node.uaw[v]:
+            if self.rng.random() < self.p:
+                self.lt[v] = 0
+                break
+
+    def neighbor_attached(self, node: "LeaseNode", v: int) -> None:
+        self.lt[v] = 0
+
+    def neighbor_detached(self, node: "LeaseNode", v: int) -> None:
+        self.lt.pop(v, None)
+
+
+def random_break_factory(p: float = 0.5, base_seed: int = 0):
+    """A policy factory giving each node an independent seeded coin."""
+    counter = {"next": 0}
+
+    def factory() -> RandomBreakPolicy:
+        seed = hash((base_seed, counter["next"])) & 0x7FFFFFFF
+        counter["next"] += 1
+        return RandomBreakPolicy(p=p, seed=seed)
+
+    return factory

@@ -1,0 +1,44 @@
+"""Offline comparators for the competitive analysis.
+
+* :mod:`repro.offline.projection` — the per-ordered-edge projection
+  ``σ(u, v)`` of Section 3.2, extended with the *noop* (N) tokens of
+  Figure 2 (break opportunities created by writes in ``σ(v, u)``).
+* :mod:`repro.offline.edge_dp` — the optimal offline lease schedule for one
+  ordered edge: a two-state min-cost dynamic program over the Figure-2 cost
+  automaton.  Summed over all ordered edges (Lemma 3.9) this is the
+  comparator the paper's 5/2 bound is proven against.
+* :mod:`repro.offline.nice_bound` — Theorem 2's lower bound on any *nice*
+  (strictly consistent) algorithm: at least one message per epoch per
+  ordered edge, where an epoch ends at a write→combine transition.
+"""
+
+from repro.offline.projection import (
+    NOOP,
+    READ,
+    WRITE_TOKEN,
+    project_sequence,
+    project_all_edges,
+)
+from repro.offline.edge_dp import (
+    EdgeDPResult,
+    brute_force_edge_cost,
+    edge_dp_cost,
+    offline_lease_lower_bound,
+    rww_edge_cost,
+)
+from repro.offline.nice_bound import edge_epochs, nice_lower_bound
+
+__all__ = [
+    "READ",
+    "WRITE_TOKEN",
+    "NOOP",
+    "project_sequence",
+    "project_all_edges",
+    "EdgeDPResult",
+    "edge_dp_cost",
+    "brute_force_edge_cost",
+    "rww_edge_cost",
+    "offline_lease_lower_bound",
+    "edge_epochs",
+    "nice_lower_bound",
+]

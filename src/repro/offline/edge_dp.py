@@ -1,0 +1,177 @@
+"""Optimal offline lease schedules per ordered edge (the paper's OPT).
+
+Figure 2 gives, for one ordered pair ``(u, v)``, the exact message cost any
+lease-based algorithm pays per request of ``σ(u, v)`` as a function of
+whether ``u.granted[v]`` holds before and after the request:
+
+====================  ===========================  ====
+state before          request / state after        cost
+====================  ===========================  ====
+false                 R → false or true            2
+false                 W or N → false               0
+true                  R → true                     0
+true                  W → false                    2
+true                  W → true                     1
+true                  N → false                    1
+true                  N → true                     0
+====================  ===========================  ====
+
+An offline lease-based algorithm chooses the transitions; the cheapest
+choice sequence is a two-state shortest path, computed here by
+:func:`edge_dp_cost` in O(len) time.  By the cost decomposition (Lemma 3.9)
+summing the per-edge optima over all ordered edges lower-bounds every
+lease-based algorithm — and it is exactly the comparator the paper's
+potential-function proof (Figure 4/5) measures RWW against.
+
+:func:`brute_force_edge_cost` enumerates all ``2^len`` transition choices as
+a test oracle; :func:`rww_edge_cost` replays RWW's deterministic
+configuration (the ``F_RWW`` definition before Lemma 4.4) for analytic
+cross-checks against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import inf
+from typing import Dict, List, Sequence, Tuple
+
+from repro.offline.projection import NOOP, READ, WRITE_TOKEN, Token, project_all_edges
+from repro.tree.topology import Tree
+from repro.workloads.requests import Request
+
+#: (state_before, token) -> list of (state_after, cost) choices (Figure 2).
+TRANSITIONS: Dict[Tuple[int, str], List[Tuple[int, int]]] = {
+    (0, READ): [(0, 2), (1, 2)],
+    (0, WRITE_TOKEN): [(0, 0)],
+    (0, NOOP): [(0, 0)],
+    (1, READ): [(1, 0)],
+    (1, WRITE_TOKEN): [(1, 1), (0, 2)],
+    (1, NOOP): [(1, 0), (0, 1)],
+}
+
+
+@dataclass(frozen=True)
+class EdgeDPResult:
+    """Outcome of the per-edge DP.
+
+    Attributes
+    ----------
+    cost:
+        Minimal total cost over all lease schedules.
+    schedule:
+        One optimal state sequence (lease held after each token),
+        ``len(tokens)`` entries; useful for diagnostics.
+    """
+
+    cost: int
+    schedule: Tuple[int, ...]
+
+
+def edge_dp_cost(tokens: Sequence[Token]) -> EdgeDPResult:
+    """Minimal offline lease cost for one ordered edge's token stream.
+
+    Standard two-state DP with backpointers; the initial state is 0
+    (no lease — Figure 1's initialization).
+    """
+    INF = inf
+    dp = [0.0, INF]  # dp[state] = min cost so far
+    back: List[Tuple[int, int]] = []  # back[i] = (pred_of_state0, pred_of_state1)
+    for tok in tokens:
+        ndp = [INF, INF]
+        pred = [-1, -1]
+        for s in (0, 1):
+            if dp[s] == INF:
+                continue
+            for s2, cost in TRANSITIONS[(s, tok)]:
+                cand = dp[s] + cost
+                if cand < ndp[s2]:
+                    ndp[s2] = cand
+                    pred[s2] = s
+        dp = ndp
+        back.append((pred[0], pred[1]))
+    final = 0 if dp[0] <= dp[1] else 1
+    total = dp[final]
+    # Reconstruct one optimal schedule.
+    states: List[int] = []
+    s = final
+    for i in range(len(tokens) - 1, -1, -1):
+        states.append(s)
+        s = back[i][s]
+    states.reverse()
+    return EdgeDPResult(cost=int(total), schedule=tuple(states))
+
+
+def brute_force_edge_cost(tokens: Sequence[Token]) -> int:
+    """Test oracle: exhaustively try every transition-choice sequence.
+
+    Exponential — intended for token streams of length <= ~16.
+    """
+    if len(tokens) > 20:
+        raise ValueError("brute force is exponential; use edge_dp_cost for long streams")
+    best = inf
+    # Choice index per position: at most 2 options per transition.
+    option_counts = []
+    # The reachable option count depends on the running state, so enumerate
+    # full binary choice vectors and skip invalid indices.
+    for choices in product((0, 1), repeat=len(tokens)):
+        state, total = 0, 0
+        ok = True
+        for tok, pick in zip(tokens, choices):
+            options = TRANSITIONS[(state, tok)]
+            if pick >= len(options):
+                ok = False
+                break
+            state, cost = options[pick]
+            total += cost
+        if ok and total < best:
+            best = total
+    return int(best)
+
+
+#: RWW's deterministic per-request cost as a function of its configuration
+#: F_RWW in {0, 1, 2} (the definition preceding Lemma 4.4 + Figure 2).
+def rww_edge_cost(tokens: Sequence[Token]) -> int:
+    """Replay RWW's configuration over one edge's token stream analytically.
+
+    * R: pay 2 when no lease (config 0), else 0; config becomes 2.
+    * W: config 2 -> 1 for cost 1 (update); config 1 -> 0 for cost 2
+      (update + release); config 0 stays free.
+    * N: no cost, no config change (Lemma 4.1).
+    """
+    config, total = 0, 0
+    for tok in tokens:
+        if tok == READ:
+            if config == 0:
+                total += 2
+            config = 2
+        elif tok == WRITE_TOKEN:
+            if config == 2:
+                total += 1
+                config = 1
+            elif config == 1:
+                total += 2
+                config = 0
+        elif tok == NOOP:
+            pass
+        else:
+            raise ValueError(f"unknown token {tok!r}")
+    return total
+
+
+def offline_lease_lower_bound(tree: Tree, sequence: Sequence[Request]) -> int:
+    """``Σ over ordered edges of edge_dp_cost`` — the OPT comparator.
+
+    By Lemma 3.9 any lease-based algorithm's total cost is the sum of its
+    per-ordered-edge costs; each term is at least the per-edge optimum, so
+    this sum lower-bounds the optimal offline lease-based algorithm.
+    """
+    projections = project_all_edges(tree, sequence)
+    return sum(edge_dp_cost(toks).cost for toks in projections.values())
+
+
+def rww_analytic_cost(tree: Tree, sequence: Sequence[Request]) -> int:
+    """``Σ over ordered edges of rww_edge_cost`` — RWW's total cost,
+    predicted without running the simulator (Lemma 4.5 + Lemma 3.9)."""
+    projections = project_all_edges(tree, sequence)
+    return sum(rww_edge_cost(toks) for toks in projections.values())

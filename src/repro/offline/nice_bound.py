@@ -1,0 +1,46 @@
+"""The nice-algorithm lower bound of Theorem 2.
+
+A *nice* algorithm provides strict consistency in sequential executions
+(Section 2).  Theorem 2's proof partitions each ordered edge's projected
+sequence into *epochs* — an epoch ends at a write → combine transition in
+``σ(u, v)`` — and argues any nice algorithm must send at least one message
+per completed epoch across that edge (the combine after the write must
+observe the write, so information must cross the edge inside the epoch's
+window).  Summed over ordered edges this lower-bounds the optimal nice
+offline algorithm NOPT.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.offline.projection import NOOP, READ, WRITE_TOKEN, Token, project_all_edges
+from repro.tree.topology import Tree
+from repro.workloads.requests import Request
+
+
+def edge_epochs(tokens: Sequence[Token]) -> int:
+    """Number of completed epochs (write → combine transitions) in one
+    ordered edge's R/W token stream (noops are transparent)."""
+    epochs = 0
+    prev = None
+    for tok in tokens:
+        if tok == NOOP:
+            continue
+        if tok == READ and prev == WRITE_TOKEN:
+            epochs += 1
+        prev = tok
+    return epochs
+
+
+def nice_lower_bound(tree: Tree, sequence: Sequence[Request]) -> int:
+    """``Σ over ordered edges of edge_epochs`` — a message lower bound for
+    every strictly consistent algorithm on ``sequence``.
+
+    Each (u, v)-epoch forces at least one ``u -> v`` message in a time
+    window disjoint from every other (u, v)-epoch's window, and windows of
+    the two directions of an edge count different message directions, so
+    the per-ordered-edge counts add without double counting.
+    """
+    projections = project_all_edges(tree, sequence)
+    return sum(edge_epochs(toks) for toks in projections.values())

@@ -1,0 +1,87 @@
+"""Per-ordered-edge request projection — ``σ(u, v)`` with noop tokens.
+
+Section 3.2 defines, for an ordered pair of neighbors ``(u, v)``, the
+subsequence ``σ(u, v)`` containing the write requests at nodes in
+``subtree(u, v)`` and the combine requests at nodes in ``subtree(v, u)``.
+Figure 2 additionally associates a *noop* (N) with each write in
+``σ(v, u)``: the only moments a lease-based algorithm can break the lease
+``u → v`` for cost 1 (a lone release).
+
+The projection therefore maps every request of σ to one of three tokens for
+the ordered pair (u, v):
+
+* ``R`` — a combine at a node in ``subtree(v, u)``  (pull across the edge),
+* ``W`` — a write at a node in ``subtree(u, v)``    (push across the edge),
+* ``N`` — a write at a node in ``subtree(v, u)``    (break opportunity),
+
+and drops combines at nodes in ``subtree(u, v)`` (Lemma 3.8(4): they cannot
+affect ``u.granted[v]`` and exchange no messages of the (u, v) cost class).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tree.topology import Tree
+from repro.workloads.requests import COMBINE, WRITE, Request
+
+#: Token constants.
+READ = "R"
+WRITE_TOKEN = "W"
+NOOP = "N"
+
+Token = str
+EdgeTokens = Dict[Tuple[int, int], List[Token]]
+
+
+def project_sequence(tree: Tree, sequence: Sequence[Request], u: int, v: int) -> List[Token]:
+    """Project ``sequence`` onto the ordered edge ``(u, v)``.
+
+    Returns the R/W/N token stream defined above.  ``(u, v)`` must be a
+    tree edge.
+    """
+    side_u = tree.subtree(u, v)  # nodes on u's side
+    tokens: List[Token] = []
+    for q in sequence:
+        if q.scope is not None:
+            raise ValueError("scoped combines have no per-edge projection; "
+                             "the offline comparators apply to global workloads")
+        on_u_side = q.node in side_u
+        if q.op == WRITE:
+            tokens.append(WRITE_TOKEN if on_u_side else NOOP)
+        elif q.op == COMBINE:
+            if not on_u_side:
+                tokens.append(READ)
+        else:
+            raise ValueError(f"cannot project op {q.op!r}")
+    return tokens
+
+
+def project_all_edges(tree: Tree, sequence: Sequence[Request]) -> EdgeTokens:
+    """Project ``sequence`` onto every ordered edge of the tree.
+
+    A single pass per request classifies it against each edge using the
+    cached ``subtree`` membership sets; the result maps each ordered pair
+    ``(u, v)`` to its token stream.
+    """
+    sides = {(u, v): tree.subtree(u, v) for u, v in tree.directed_edges()}
+    out: EdgeTokens = {edge: [] for edge in sides}
+    for q in sequence:
+        if q.scope is not None:
+            raise ValueError("scoped combines have no per-edge projection; "
+                             "the offline comparators apply to global workloads")
+        for (u, v), side_u in sides.items():
+            on_u_side = q.node in side_u
+            if q.op == WRITE:
+                out[(u, v)].append(WRITE_TOKEN if on_u_side else NOOP)
+            elif q.op == COMBINE:
+                if not on_u_side:
+                    out[(u, v)].append(READ)
+            else:
+                raise ValueError(f"cannot project op {q.op!r}")
+    return out
+
+
+def strip_noops(tokens: Sequence[Token]) -> List[Token]:
+    """The R/W-only stream — the paper's plain ``σ(u, v)`` subsequence."""
+    return [t for t in tokens if t != NOOP]

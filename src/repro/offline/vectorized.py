@@ -1,0 +1,112 @@
+"""Vectorized offline comparators (numpy fast paths).
+
+The scalar comparators in :mod:`repro.offline.edge_dp` loop per edge per
+request — O(|σ|·|E|) Python-level work that dominates large sweeps (the
+guides' rule: profile, then vectorize the measured bottleneck).  These
+functions run the same recurrences with numpy across **all ordered edges
+simultaneously**, one pass over the request sequence:
+
+* :func:`offline_lease_lower_bound_fast` — the two-state min-cost DP;
+* :func:`rww_analytic_cost_fast` — RWW's deterministic config replay;
+* :func:`nice_lower_bound_fast` — the epoch counter.
+
+All three are exact drop-in equivalents of their scalar counterparts
+(property-tested in ``tests/test_vectorized.py``) and are what
+`analysis.competitive` uses on big inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tree.topology import Tree
+from repro.workloads.requests import COMBINE, WRITE, Request
+
+
+def edge_side_matrix(tree: Tree) -> Tuple[List[Tuple[int, int]], np.ndarray]:
+    """Ordered edge list and boolean matrix ``side[e, x]`` = node ``x`` lies
+    in ``subtree(u, v)`` for ordered edge e = (u, v)."""
+    edges = list(tree.directed_edges())
+    side = np.zeros((len(edges), tree.n), dtype=bool)
+    for i, (u, v) in enumerate(edges):
+        members = tree.subtree(u, v)
+        side[i, list(members)] = True
+    return edges, side
+
+
+def _validate(sequence: Sequence[Request]) -> None:
+    for q in sequence:
+        if q.op not in (COMBINE, WRITE):
+            raise ValueError(f"cannot project op {q.op!r}")
+
+
+def offline_lease_lower_bound_fast(tree: Tree, sequence: Sequence[Request]) -> int:
+    """Vectorized equivalent of
+    :func:`repro.offline.edge_dp.offline_lease_lower_bound`."""
+    _validate(sequence)
+    _, side = edge_side_matrix(tree)
+    n_edges = side.shape[0]
+    INF = np.float64(np.inf)
+    dp0 = np.zeros(n_edges)  # no lease
+    dp1 = np.full(n_edges, INF)  # lease held
+    for q in sequence:
+        on_u_side = side[:, q.node]
+        if q.op == COMBINE:
+            mask = ~on_u_side  # R token on these edges
+            ndp0 = dp0[mask] + 2.0
+            ndp1 = np.minimum(dp0[mask] + 2.0, dp1[mask])
+            dp0[mask] = ndp0
+            dp1[mask] = ndp1
+        else:
+            w = on_u_side  # W token
+            dp0_w = np.minimum(dp0[w], dp1[w] + 2.0)
+            dp1_w = dp1[w] + 1.0
+            dp0[w] = dp0_w
+            dp1[w] = dp1_w
+            n = ~on_u_side  # N token
+            dp0[n] = np.minimum(dp0[n], dp1[n] + 1.0)
+    return int(np.minimum(dp0, dp1).sum())
+
+
+def rww_analytic_cost_fast(tree: Tree, sequence: Sequence[Request]) -> int:
+    """Vectorized equivalent of
+    :func:`repro.offline.edge_dp.rww_analytic_cost`."""
+    _validate(sequence)
+    _, side = edge_side_matrix(tree)
+    n_edges = side.shape[0]
+    config = np.zeros(n_edges, dtype=np.int64)  # F_RWW per edge
+    total = 0
+    for q in sequence:
+        on_u_side = side[:, q.node]
+        if q.op == COMBINE:
+            mask = ~on_u_side
+            total += 2 * int((config[mask] == 0).sum())
+            config[mask] = 2
+        else:
+            w = on_u_side
+            cw = config[w]
+            total += int((cw == 2).sum()) + 2 * int((cw == 1).sum())
+            config[w] = np.maximum(cw - 1, 0)
+    return total
+
+
+def nice_lower_bound_fast(tree: Tree, sequence: Sequence[Request]) -> int:
+    """Vectorized equivalent of
+    :func:`repro.offline.nice_bound.nice_lower_bound`."""
+    _validate(sequence)
+    _, side = edge_side_matrix(tree)
+    n_edges = side.shape[0]
+    # prev token per edge: 0 = none/other, 1 = R, 2 = W (noops transparent).
+    prev = np.zeros(n_edges, dtype=np.int8)
+    epochs = 0
+    for q in sequence:
+        on_u_side = side[:, q.node]
+        if q.op == COMBINE:
+            mask = ~on_u_side
+            epochs += int((prev[mask] == 2).sum())
+            prev[mask] = 1
+        else:
+            prev[on_u_side] = 2
+    return epochs

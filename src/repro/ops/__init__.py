@@ -1,0 +1,45 @@
+"""Aggregation operators (commutative monoids) used by the aggregation tree.
+
+The paper assumes an aggregation operator ``⊕`` that is commutative,
+associative, and has an identity element ``0`` (Section 2).  This subpackage
+provides the abstraction (:class:`~repro.ops.monoid.AggregationOperator`) and
+a library of standard instances: :data:`SUM`, :data:`MIN`, :data:`MAX`,
+:data:`COUNT`, :data:`AVERAGE` (a sum/count pair monoid), :data:`BOUNDED_SUM`
+factories, :class:`~repro.ops.standard.KSmallest`, and
+:class:`~repro.ops.standard.Histogram`.
+
+All operators are pure value-level objects: the lease mechanism recomputes
+``gval``/``subval`` from scratch on demand, so operators need not be
+invertible (``MIN``/``MAX`` work out of the box).
+"""
+
+from repro.ops.monoid import AggregationOperator, check_monoid_laws
+from repro.ops.standard import (
+    AVERAGE,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    Average,
+    BoundedSum,
+    Histogram,
+    KSmallest,
+    bounded_sum,
+    k_smallest,
+)
+
+__all__ = [
+    "AggregationOperator",
+    "check_monoid_laws",
+    "SUM",
+    "MIN",
+    "MAX",
+    "COUNT",
+    "AVERAGE",
+    "Average",
+    "BoundedSum",
+    "Histogram",
+    "KSmallest",
+    "bounded_sum",
+    "k_smallest",
+]

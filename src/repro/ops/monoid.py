@@ -1,0 +1,121 @@
+"""The aggregation-operator abstraction.
+
+Section 2 of the paper: *"We are also given an aggregation operator ⊕ that is
+commutative, associative, and has an identity element 0."*  An
+:class:`AggregationOperator` bundles the binary operation with its identity
+and (optionally) a conversion from a node's *local value* into the monoid
+domain (e.g. ``COUNT`` maps every local value to ``1``; ``AVERAGE`` maps a
+real ``x`` to the pair ``(x, 1)``).
+
+The mechanism only ever calls :meth:`AggregationOperator.combine`,
+:attr:`AggregationOperator.identity` and :meth:`AggregationOperator.lift`;
+``finalize`` exists for user-facing presentation (e.g. turning a sum/count
+pair into a mean).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class AggregationOperator:
+    """A commutative monoid ``(domain, combine, identity)`` with lift/finalize.
+
+    Parameters
+    ----------
+    name:
+        Human-readable operator name (used in reprs and trace output).
+    combine_fn:
+        The binary operation ``⊕``.  Must be commutative and associative over
+        the intended domain, with ``identity`` as a two-sided identity.
+    identity:
+        The identity element ``0`` of ``⊕``.
+    lift_fn:
+        Maps a node's raw local value into the monoid domain.  Defaults to
+        the identity function.  ``write`` requests store raw local values;
+        the mechanism lifts them before aggregation.
+    finalize_fn:
+        Maps an aggregate in the monoid domain to a user-facing result
+        (defaults to the identity function).
+
+    Examples
+    --------
+    >>> from repro.ops import SUM
+    >>> SUM.combine(2.0, 3.0)
+    5.0
+    >>> SUM.aggregate([1.0, 2.0, 3.0])
+    6.0
+    """
+
+    name: str
+    combine_fn: Callable[[Any, Any], Any]
+    identity: Any
+    lift_fn: Callable[[Any], Any] = field(default=lambda x: x)
+    finalize_fn: Callable[[Any], Any] = field(default=lambda x: x)
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Return ``a ⊕ b``."""
+        return self.combine_fn(a, b)
+
+    def lift(self, raw: Any) -> Any:
+        """Map a raw local value into the monoid domain."""
+        return self.lift_fn(raw)
+
+    def finalize(self, aggregate: Any) -> Any:
+        """Map an aggregate to its user-facing presentation."""
+        return self.finalize_fn(aggregate)
+
+    def aggregate(self, values: Iterable[Any], *, lifted: bool = True) -> Any:
+        """Fold ``⊕`` over ``values`` starting from the identity.
+
+        With ``lifted=False`` each value is passed through :meth:`lift`
+        first; with the default ``lifted=True`` values are assumed to already
+        live in the monoid domain.
+        """
+        acc = self.identity
+        for v in values:
+            acc = self.combine_fn(acc, v if lifted else self.lift_fn(v))
+        return acc
+
+    def aggregate_raw(self, raw_values: Iterable[Any]) -> Any:
+        """Lift every raw value and fold ``⊕`` over the results."""
+        return self.aggregate(raw_values, lifted=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AggregationOperator({self.name!r})"
+
+
+def check_monoid_laws(
+    op: AggregationOperator,
+    samples: Sequence[Any],
+    *,
+    equal: Callable[[Any, Any], bool] | None = None,
+) -> None:
+    """Assert the monoid laws on a finite sample of domain elements.
+
+    Checks, for all sampled ``a, b, c``:
+
+    * identity: ``0 ⊕ a == a == a ⊕ 0``
+    * commutativity: ``a ⊕ b == b ⊕ a``
+    * associativity: ``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)``
+
+    Raises ``AssertionError`` naming the violated law.  ``equal`` defaults to
+    ``==``; pass a tolerance-aware comparator for float-heavy domains.
+    """
+    eq = equal if equal is not None else (lambda x, y: x == y)
+    for a in samples:
+        left = op.combine(op.identity, a)
+        right = op.combine(a, op.identity)
+        assert eq(left, a), f"{op.name}: identity law failed: 0 ⊕ {a!r} = {left!r}"
+        assert eq(right, a), f"{op.name}: identity law failed: {a!r} ⊕ 0 = {right!r}"
+    for a, b in itertools.product(samples, repeat=2):
+        assert eq(op.combine(a, b), op.combine(b, a)), (
+            f"{op.name}: commutativity failed on {a!r}, {b!r}"
+        )
+    for a, b, c in itertools.product(samples, repeat=3):
+        lhs = op.combine(op.combine(a, b), c)
+        rhs = op.combine(a, op.combine(b, c))
+        assert eq(lhs, rhs), f"{op.name}: associativity failed on {a!r}, {b!r}, {c!r}"

@@ -1,0 +1,148 @@
+"""Standard aggregation operators.
+
+The paper's examples (Section 1/2): *min, max, sum, average*.  ``COUNT`` and
+the bounded/top-k/histogram operators are common aggregation-framework
+functions (SDIMS/Astrolabe expose similar ones) and exercise non-numeric
+monoid domains in the mechanism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Tuple
+
+from repro.ops.monoid import AggregationOperator
+
+#: Sum of local values; identity 0.  The paper's running concrete operator.
+SUM = AggregationOperator(name="sum", combine_fn=lambda a, b: a + b, identity=0.0)
+
+#: Minimum of local values; identity +inf.
+MIN = AggregationOperator(name="min", combine_fn=min, identity=math.inf)
+
+#: Maximum of local values; identity -inf.
+MAX = AggregationOperator(name="max", combine_fn=max, identity=-math.inf)
+
+#: Number of nodes (every local value lifts to 1); identity 0.
+COUNT = AggregationOperator(
+    name="count",
+    combine_fn=lambda a, b: a + b,
+    identity=0,
+    lift_fn=lambda _raw: 1,
+)
+
+
+class Average(AggregationOperator):
+    """Arithmetic mean via the ``(sum, count)`` pair monoid.
+
+    Plain averaging is neither associative nor has an identity, so the
+    standard trick applies: aggregate pairs ``(Σx, n)`` and finalize to
+    ``Σx / n`` (``nan`` for the empty aggregate).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="average",
+            combine_fn=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            identity=(0.0, 0),
+            lift_fn=lambda raw: (float(raw), 1),
+            finalize_fn=lambda agg: (agg[0] / agg[1]) if agg[1] else math.nan,
+        )
+
+
+#: Shared arithmetic-mean operator instance.
+AVERAGE = Average()
+
+
+class BoundedSum(AggregationOperator):
+    """Sum saturating at ``bound`` — a monoid on ``[identity, bound]``.
+
+    Saturating addition ``min(a + b, bound)`` is commutative and associative
+    on non-negative values and keeps aggregate magnitudes bounded, a common
+    requirement in monitoring overlays (e.g. "count alarms, cap at 1000").
+    """
+
+    def __init__(self, bound: float) -> None:
+        if bound < 0:
+            raise ValueError(f"bound must be non-negative, got {bound}")
+        self.bound = bound
+        super().__init__(
+            name=f"bounded_sum[{bound}]",
+            combine_fn=lambda a, b: min(a + b, bound),
+            identity=0.0,
+            lift_fn=lambda raw: min(max(float(raw), 0.0), bound),
+        )
+
+
+def bounded_sum(bound: float) -> BoundedSum:
+    """Return a :class:`BoundedSum` operator saturating at ``bound``."""
+    return BoundedSum(bound)
+
+
+class KSmallest(AggregationOperator):
+    """The multiset of the ``k`` smallest local values, as a sorted tuple.
+
+    Merging two sorted tuples and truncating to length ``k`` is commutative
+    and associative with the empty tuple as identity.  Useful for "top-k
+    loaded machines"-style queries in monitoring trees.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+        def merge(a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+            return tuple(sorted(a + b)[: self.k])
+
+        super().__init__(
+            name=f"k_smallest[{k}]",
+            combine_fn=merge,
+            identity=(),
+            lift_fn=lambda raw: (raw,),
+        )
+
+
+def k_smallest(k: int) -> KSmallest:
+    """Return a :class:`KSmallest` operator keeping the ``k`` smallest values."""
+    return KSmallest(k)
+
+
+class Histogram(AggregationOperator):
+    """Fixed-bin histogram over ``[lo, hi)`` as a tuple of counts.
+
+    Values below ``lo`` land in the first bin, values at or above ``hi`` in
+    the last; tuple-wise addition is the monoid operation.
+    """
+
+    def __init__(self, lo: float, hi: float, bins: int) -> None:
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        if not hi > lo:
+            raise ValueError(f"need hi > lo, got lo={lo}, hi={hi}")
+        self.lo, self.hi, self.bins = float(lo), float(hi), int(bins)
+        width = (self.hi - self.lo) / self.bins
+        empty = (0,) * self.bins
+
+        def lift(raw: Any) -> Tuple[int, ...]:
+            idx = int((float(raw) - self.lo) / width)
+            idx = min(max(idx, 0), self.bins - 1)
+            counts = [0] * self.bins
+            counts[idx] = 1
+            return tuple(counts)
+
+        super().__init__(
+            name=f"histogram[{lo},{hi},{bins}]",
+            combine_fn=lambda a, b: tuple(x + y for x, y in zip(a, b)),
+            identity=empty,
+            lift_fn=lift,
+        )
+
+    def bin_edges(self) -> Tuple[float, ...]:
+        """Return the ``bins + 1`` bin edge positions."""
+        width = (self.hi - self.lo) / self.bins
+        return tuple(self.lo + i * width for i in range(self.bins + 1))
+
+    def as_mapping(self, aggregate: Tuple[int, ...]) -> Mapping[Tuple[float, float], int]:
+        """Present an aggregate as ``{(edge_lo, edge_hi): count}``."""
+        edges = self.bin_edges()
+        return {(edges[i], edges[i + 1]): aggregate[i] for i in range(self.bins)}

@@ -1,0 +1,110 @@
+"""Human-readable rendering of trees, lease graphs and run summaries.
+
+Plain-ASCII output (no plotting dependencies) used by the examples and the
+CLI: :func:`render_tree` draws the rooted topology with lease-direction
+annotations, :func:`summarize_run` condenses an
+:class:`~repro.core.engine.ExecutionResult` into the numbers a reader
+wants first (request mix, per-kind messages, per-request averages, lease
+churn).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import AggregationSystem, ExecutionResult
+from repro.tree.topology import Tree
+from repro.workloads.requests import COMBINE, WRITE
+
+
+def render_tree(
+    tree: Tree,
+    root: int = 0,
+    granted: Optional[Sequence[Tuple[int, int]]] = None,
+    labels: Optional[Dict[int, str]] = None,
+) -> str:
+    """ASCII art of the tree rooted at ``root``.
+
+    Each child edge is annotated with the lease directions present in
+    ``granted`` (a list of directed pairs ``(u, v)`` meaning ``u`` pushes
+    updates to ``v``): ``^`` = lease toward the parent, ``v`` = lease
+    toward the child, ``=`` = both, ``-`` = none.
+    """
+    granted_set = set(granted or ())
+    labels = labels or {}
+    parents = tree.bfs_parents(root)
+    children: Dict[int, List[int]] = {u: [] for u in tree.nodes()}
+    for u in tree.nodes():
+        if u != root:
+            children[parents[u]].append(u)
+    for kids in children.values():
+        kids.sort()
+
+    lines: List[str] = []
+
+    def node_text(u: int) -> str:
+        extra = f" {labels[u]}" if u in labels else ""
+        return f"[{u}]{extra}"
+
+    def edge_mark(child: int, parent: int) -> str:
+        up = (child, parent) in granted_set
+        down = (parent, child) in granted_set
+        if up and down:
+            return "="
+        if up:
+            return "^"
+        if down:
+            return "v"
+        return "-"
+
+    def walk(u: int, prefix: str, is_last: bool, mark: str) -> None:
+        connector = "" if prefix == "" and mark == "" else ("`-" if is_last else "|-")
+        annotated = f"{connector}{mark}{'-' if mark else ''}" if connector else ""
+        lines.append(f"{prefix}{annotated}{node_text(u)}")
+        ext = "" if prefix == "" and mark == "" else ("   " if is_last else "|  ")
+        for i, c in enumerate(children[u]):
+            walk(c, prefix + ext, i == len(children[u]) - 1, edge_mark(c, u))
+
+    walk(root, "", True, "")
+    return "\n".join(lines)
+
+
+def render_lease_graph(system: AggregationSystem, root: int = 0) -> str:
+    """The system's current topology with its live lease directions."""
+    return render_tree(system.tree, root=root, granted=system.lease_graph_edges())
+
+
+def summarize_run(result: ExecutionResult, title: str = "run summary") -> str:
+    """A compact multi-line summary of an executed request sequence."""
+    combines = [q for q in result.requests if q.op == COMBINE]
+    writes = [q for q in result.requests if q.op == WRITE]
+    kinds = result.stats.by_kind()
+    n_req = len(result.requests)
+    lines = [
+        title,
+        "-" * len(title),
+        f"tree:      {result.tree.n} nodes, diameter {result.tree.diameter()}",
+        f"requests:  {n_req}  ({len(combines)} combines, {len(writes)} writes)",
+        f"messages:  {result.total_messages}"
+        + (f"  ({result.total_messages / n_req:.2f}/request)" if n_req else ""),
+    ]
+    for kind in ("probe", "response", "update", "release"):
+        if kind in kinds:
+            lines.append(f"  {kind:<9}{kinds[kind]}")
+    grants = result.trace.count("lease_granted") if len(result.trace) else None
+    breaks = result.trace.count("lease_broken") if len(result.trace) else None
+    if grants is not None and (grants or breaks):
+        lines.append(f"lease churn: {grants} grants, {breaks} breaks (traced)")
+    if combines:
+        last = combines[-1]
+        lines.append(f"last combine @ node {last.node}: {last.retval!r}")
+    return "\n".join(lines)
+
+
+def busiest_edges(result: ExecutionResult, top: int = 5) -> List[Tuple[Tuple[int, int], int]]:
+    """The ``top`` undirected edges by total message volume."""
+    totals: Dict[Tuple[int, int], int] = {}
+    for u, v in result.tree.edges:
+        totals[(u, v)] = result.stats.undirected_edge_total(u, v)
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]

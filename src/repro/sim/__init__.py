@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+The paper's setting is a distributed network with reliable FIFO channels; the
+cost metric is the total number of messages, so the substrate's job is exact
+message accounting plus two execution models:
+
+* **Sequential executions** (Section 2's quiescent-state model): each request
+  runs to quiescence before the next is initiated.  The sequential engine in
+  :mod:`repro.core.engine` drives nodes directly with a synchronous message
+  queue built on :class:`~repro.sim.network.Network`.
+* **Concurrent executions** (Section 5): requests overlap in time.  The
+  :class:`~repro.sim.scheduler.Simulator` provides a virtual clock and an
+  event heap; :class:`~repro.sim.channel.FifoChannel` delivers messages with
+  (optionally random) latency while enforcing FIFO order per directed edge.
+
+:class:`~repro.sim.stats.MessageStats` counts messages per directed edge and
+per message type — the exact quantities in the paper's cost decomposition
+(Lemma 3.9) — and :class:`~repro.sim.trace.TraceLog` records structured
+events for debugging and for the consistency checkers.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.scheduler import Simulator
+from repro.sim.channel import FifoChannel, LatencyModel, constant_latency, uniform_latency
+from repro.sim.network import Network
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "FifoChannel",
+    "LatencyModel",
+    "constant_latency",
+    "uniform_latency",
+    "Network",
+    "MessageStats",
+    "TraceEvent",
+    "TraceLog",
+]

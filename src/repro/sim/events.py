@@ -1,0 +1,83 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a scheduled callback; the :class:`EventQueue` is a
+binary-heap priority queue ordered by ``(time, sequence)``.  The sequence
+number makes the order of same-time events deterministic (insertion order),
+which keeps every simulation reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback, ordered by ``(time, seq)``.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    seq:
+        Tie-breaking sequence number (monotone per queue).
+    action:
+        Zero-argument callable executed when the event fires.
+    cancelled:
+        Cancelled events are skipped when popped.
+    label:
+        Optional human-readable label for traces.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at ``time``; returns the (cancellable) event."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        ev = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """The firing time of the next non-cancelled event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,242 @@
+"""Fault injection for the concurrent network substrate.
+
+The paper's model assumes *reliable FIFO* channels; every guarantee
+(strict consistency, causal consistency, the message-count lemmas) is
+proven under that assumption.  :class:`FaultyNetwork` makes the assumption
+testable by injecting three classic link faults:
+
+* **drop** — a message silently vanishes;
+* **duplicate** — a message is delivered twice;
+* **reorder** — a message's delivery skips the FIFO clamp, so it may
+  overtake earlier messages on the same channel.
+
+Injected faults are recorded (:class:`FaultLog`) so tests can correlate
+observed protocol damage (hung combines, consistency violations, broken
+invariants) with specific faults — the failure-injection experiments in
+``tests/test_faults.py`` demonstrate both that the mechanism *depends* on
+the assumptions and that the consistency checkers *detect* the fallout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.channel import LatencyModel, constant_latency
+from repro.sim.network import Receiver
+from repro.sim.scheduler import Simulator
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceLog
+from repro.tree.topology import Tree
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-message fault probabilities (mutually exclusive draws).
+
+    Attributes
+    ----------
+    drop_prob:
+        Probability a message is dropped.
+    duplicate_prob:
+        Probability a message is delivered twice.
+    reorder_prob:
+        Probability a message bypasses the FIFO ordering clamp.
+    seed:
+        RNG seed for the fault stream (independent of latency draws).
+    """
+
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "duplicate_prob", "reorder_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.drop_prob + self.duplicate_prob + self.reorder_prob > 1.0:
+            raise ValueError("fault probabilities must sum to at most 1")
+
+    @property
+    def is_faultless(self) -> bool:
+        return self.drop_prob == self.duplicate_prob == self.reorder_prob == 0.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault."""
+
+    time: float
+    kind: str  # "drop" | "duplicate" | "reorder"
+    src: int
+    dst: int
+    message_kind: str
+
+
+class FaultLog:
+    """Record of every injected fault."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def record(self, time: float, kind: str, src: int, dst: int, message_kind: str) -> None:
+        self.events.append(FaultEvent(time, kind, src, dst, message_kind))
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind == kind)
+
+
+class FaultyNetwork:
+    """A latency-ful transport with injected drop/duplicate/reorder faults.
+
+    Drop-in replacement for :class:`repro.sim.network.Network` (same
+    ``send`` interface, same stats accounting: duplicates count as extra
+    deliveries, drops still count as sends — the sender paid for them).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        sim: Simulator,
+        receiver: Receiver,
+        plan: FaultPlan,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        stats: Optional[MessageStats] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.tree = tree
+        self.sim = sim
+        self._receiver = receiver
+        self.plan = plan
+        self.stats = stats if stats is not None else MessageStats()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.faults = FaultLog()
+        self._latency = latency if latency is not None else constant_latency(1.0)
+        master = random.Random(seed)
+        self._lat_rng: Dict[Tuple[int, int], random.Random] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        for edge in tree.directed_edges():
+            self._lat_rng[edge] = random.Random(master.getrandbits(64))
+            self._last_delivery[edge] = 0.0
+        self._fault_rng = random.Random(plan.seed)
+        self._in_flight = 0
+
+    def _classify(self) -> str:
+        x = self._fault_rng.random()
+        if x < self.plan.drop_prob:
+            return "drop"
+        x -= self.plan.drop_prob
+        if x < self.plan.duplicate_prob:
+            return "duplicate"
+        x -= self.plan.duplicate_prob
+        if x < self.plan.reorder_prob:
+            return "reorder"
+        return "ok"
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        edge = (src, dst)
+        if edge not in self._lat_rng:
+            raise ValueError(f"({src}, {dst}) is not a tree edge; cannot send")
+        kind = getattr(message, "kind", type(message).__name__.lower())
+        self.stats.record(src, dst, kind)
+        fate = self._classify()
+        if fate == "drop":
+            self.faults.record(self.sim.now, "drop", src, dst, kind)
+            return
+        copies = 2 if fate == "duplicate" else 1
+        if fate == "duplicate":
+            self.faults.record(self.sim.now, "duplicate", src, dst, kind)
+        for _ in range(copies):
+            delay = self._latency(src, dst, self._lat_rng[edge])
+            t = self.sim.now + delay
+            if fate == "reorder":
+                self.faults.record(self.sim.now, "reorder", src, dst, kind)
+            else:
+                t = max(t, self._last_delivery[edge])
+                self._last_delivery[edge] = t
+            self._in_flight += 1
+
+            def deliver(m=message, s=src, d=dst) -> None:
+                self._in_flight -= 1
+                self._receiver(s, d, m)
+
+            self.sim.schedule_at(t, deliver, label=f"faulty {src}->{dst}")
+
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def is_quiescent(self) -> bool:
+        return self._in_flight == 0
+
+
+def faulty_concurrent_system(
+    tree: Tree,
+    plan: FaultPlan,
+    op=None,
+    policy_factory=None,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    ghost: bool = True,
+):
+    """A :class:`~repro.core.engine.ConcurrentAggregationSystem` whose
+    transport is a :class:`FaultyNetwork`.
+
+    Returns the system; its ``network.faults`` holds the injected-fault
+    log.  Combines that lose their probe or response messages never
+    complete — callers should run with ``allow_incomplete`` handling (see
+    :func:`run_with_faults`).
+    """
+    from repro.core.engine import ConcurrentAggregationSystem
+    from repro.core.rww import RWWPolicy
+    from repro.ops.standard import SUM
+
+    system = ConcurrentAggregationSystem(
+        tree,
+        op=op if op is not None else SUM,
+        policy_factory=policy_factory if policy_factory is not None else RWWPolicy,
+        latency=latency,
+        seed=seed,
+        ghost=ghost,
+    )
+    # Swap the transport for the faulty one, re-binding the stats object so
+    # system.stats keeps working.
+    system.network = FaultyNetwork(
+        tree,
+        system.sim,
+        receiver=system._receive,
+        plan=plan,
+        latency=latency,
+        seed=seed + 1,
+        stats=system.stats,
+        trace=system.trace,
+    )
+    return system
+
+
+def run_with_faults(system, schedule):
+    """Run a faulty system to network drain, tolerating hung combines.
+
+    Returns ``(result, hung)`` where ``hung`` is the number of combines
+    that never completed (their ``retval`` stays ``None``).
+    """
+    for item in schedule:
+        system.sim.schedule_at(item.time, lambda q=item.request: system._initiate(q))
+    system.sim.run()
+    hung = system._outstanding
+    system._outstanding = 0
+    from repro.core.engine import ExecutionResult
+
+    result = ExecutionResult(
+        requests=list(system.executed),
+        stats=system.stats,
+        trace=system.trace,
+        nodes=system.nodes,
+        tree=system.tree,
+    )
+    return result, hung

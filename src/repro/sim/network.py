@@ -1,0 +1,147 @@
+"""Message transports binding a tree topology to delivery semantics.
+
+Two transports share one interface (``send(src, dst, message)`` plus message
+accounting) so the same node automaton runs under both execution models:
+
+* :class:`SynchronousNetwork` — the sequential model of Section 2.  Messages
+  go into a global FIFO queue; :meth:`SynchronousNetwork.run_to_quiescence`
+  drains it, which realizes the paper's quiescent-state semantics exactly
+  (global FIFO trivially preserves per-channel FIFO).
+* :class:`Network` — the concurrent model of Section 5.  One
+  :class:`~repro.sim.channel.FifoChannel` per directed edge delivers with
+  latency under a :class:`~repro.sim.scheduler.Simulator` clock.
+
+Both transports validate that every send travels along a tree edge.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.sim.channel import FifoChannel, LatencyModel, constant_latency
+from repro.sim.scheduler import Simulator
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceLog
+from repro.tree.topology import Tree
+
+#: Receiver callback: (src, dst, message) -> None.
+Receiver = Callable[[int, int, Any], None]
+
+
+class SynchronousNetwork:
+    """Zero-latency transport draining a global FIFO queue to quiescence."""
+
+    def __init__(
+        self,
+        tree: Tree,
+        receiver: Receiver,
+        stats: Optional[MessageStats] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.tree = tree
+        self._receiver = receiver
+        self.stats = stats if stats is not None else MessageStats()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._queue: Deque[Tuple[int, int, Any]] = deque()
+        self._delivering = False
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Enqueue ``message`` from ``src`` to its neighbor ``dst``."""
+        if not self.tree.has_edge(src, dst):
+            raise ValueError(f"({src}, {dst}) is not a tree edge; cannot send")
+        kind = getattr(message, "kind", type(message).__name__.lower())
+        self.stats.record(src, dst, kind)
+        self.trace.emit(0.0, "send", src, dst=dst, msg=kind)
+        self._queue.append((src, dst, message))
+
+    def run_to_quiescence(self, max_messages: int = 10_000_000) -> int:
+        """Deliver queued messages (and those they trigger) until none remain.
+
+        Returns the number of messages delivered.  Re-entrant calls (a
+        receiver triggering delivery) are flattened into the outer loop.
+        """
+        if self._delivering:
+            return 0
+        self._delivering = True
+        delivered = 0
+        try:
+            while self._queue:
+                src, dst, message = self._queue.popleft()
+                kind = getattr(message, "kind", type(message).__name__.lower())
+                self.trace.emit(0.0, "recv", dst, src=src, msg=kind)
+                self._receiver(src, dst, message)
+                delivered += 1
+                if delivered > max_messages:
+                    raise RuntimeError(
+                        f"exceeded {max_messages} deliveries; protocol livelock?"
+                    )
+        finally:
+            self._delivering = False
+        return delivered
+
+    def is_quiescent(self) -> bool:
+        """True when no message is queued (Section 2's condition (2))."""
+        return not self._queue
+
+
+class Network:
+    """Latency-ful transport: one FIFO channel per directed tree edge."""
+
+    def __init__(
+        self,
+        tree: Tree,
+        sim: Simulator,
+        receiver: Receiver,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        stats: Optional[MessageStats] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.tree = tree
+        self.sim = sim
+        self._receiver = receiver
+        self.stats = stats if stats is not None else MessageStats()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        lat = latency if latency is not None else constant_latency(1.0)
+        rng = random.Random(seed)
+        self._channels: Dict[Tuple[int, int], FifoChannel] = {}
+        for u, v in tree.directed_edges():
+            # Each directed channel gets its own derived RNG stream so the
+            # latency draws on one edge never perturb another edge's stream.
+            ch_rng = random.Random(rng.getrandbits(64))
+            self._channels[(u, v)] = FifoChannel(
+                sim,
+                u,
+                v,
+                deliver=self._make_deliver(u, v),
+                latency=lat,
+                rng=ch_rng,
+            )
+
+    def _make_deliver(self, src: int, dst: int) -> Callable[[Any], None]:
+        def deliver(message: Any) -> None:
+            kind = getattr(message, "kind", type(message).__name__.lower())
+            self.trace.emit(self.sim.now, "recv", dst, src=src, msg=kind)
+            self._receiver(src, dst, message)
+
+        return deliver
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Send ``message`` on the directed channel ``src -> dst``."""
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            raise ValueError(f"({src}, {dst}) is not a tree edge; cannot send")
+        kind = getattr(message, "kind", type(message).__name__.lower())
+        self.stats.record(src, dst, kind)
+        self.trace.emit(self.sim.now, "send", src, dst=dst, msg=kind)
+        channel.send(message)
+
+    def in_flight(self) -> int:
+        """Total messages currently in transit across all channels."""
+        return sum(ch.in_flight for ch in self._channels.values())
+
+    def is_quiescent(self) -> bool:
+        """True when no message is in transit."""
+        return self.in_flight() == 0

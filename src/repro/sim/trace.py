@@ -1,0 +1,92 @@
+"""Structured execution traces.
+
+A :class:`TraceLog` is an append-only list of :class:`TraceEvent` records —
+request initiations/completions, message sends/receives, lease transitions —
+used by tests to check the paper's lemmas against actual executions (e.g.
+"during this combine exactly |A| probe messages were sent", Lemma 3.3) and by
+examples to narrate runs.  Tracing is optional and off by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes
+    ----------
+    time:
+        Virtual time (0.0 in the sequential engine).
+    kind:
+        Event kind, e.g. ``"send"``, ``"recv"``, ``"request"``, ``"reply"``,
+        ``"lease_set"``, ``"lease_break"``.
+    node:
+        The node at which the event happened.
+    detail:
+        Free-form payload (message kind, peer, request, values, ...).
+    """
+
+    time: float
+    kind: str
+    node: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    def emit(self, time: float, kind: str, node: int, **detail: Any) -> None:
+        """Append an event (no-op when disabled)."""
+        if self.enabled:
+            self._events.append(TraceEvent(time=time, kind=kind, node=node, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, i: int) -> TraceEvent:
+        return self._events[i]
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Filtered view of the log."""
+        out = []
+        for ev in self._events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if node is not None and ev.node != node:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind``."""
+        return sum(1 for ev in self._events if ev.kind == kind)
+
+    def mark(self) -> int:
+        """A cursor into the log; use with :meth:`since`."""
+        return len(self._events)
+
+    def since(self, mark: int) -> List[TraceEvent]:
+        """Events appended after the given :meth:`mark` cursor."""
+        return self._events[mark:]
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._events.clear()

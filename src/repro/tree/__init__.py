@@ -1,0 +1,37 @@
+"""Tree-network substrate.
+
+The paper's network model: *"a finite set of nodes (i.e., machines) arranged
+in a tree network T with reliable FIFO communication channels between
+neighboring nodes"* (Section 2).  :class:`~repro.tree.topology.Tree` provides
+the structural queries the mechanism and the analysis need — neighbor sets,
+``subtree(u, v)`` (the component containing ``u`` after removing edge
+``(u, v)``), the *u-parent* relation, and directed-edge enumeration — and
+:mod:`repro.tree.generators` provides the topology families used across the
+benchmarks (paths, stars, balanced k-ary trees, caterpillars, random trees).
+"""
+
+from repro.tree.topology import Tree
+from repro.tree.generators import (
+    balanced_kary_tree,
+    binary_tree,
+    caterpillar_tree,
+    from_networkx,
+    path_tree,
+    random_tree,
+    spider_tree,
+    star_tree,
+    two_node_tree,
+)
+
+__all__ = [
+    "Tree",
+    "path_tree",
+    "star_tree",
+    "binary_tree",
+    "balanced_kary_tree",
+    "caterpillar_tree",
+    "spider_tree",
+    "random_tree",
+    "two_node_tree",
+    "from_networkx",
+]

@@ -1,0 +1,165 @@
+"""Tree topology generators.
+
+The benchmark suite sweeps over the classic topology families used by the
+aggregation frameworks the paper cites: deep paths (worst-case propagation
+distance), stars (single-hub SDIMS-style hierarchies), balanced k-ary trees
+(DHT-derived aggregation trees), caterpillars and spiders (skewed mixes), and
+seeded uniformly random trees (via Prüfer sequences).  All generators return
+:class:`~repro.tree.topology.Tree` objects and are fully deterministic given
+their arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.tree.topology import Tree
+
+
+def two_node_tree() -> Tree:
+    """The 2-node tree used by the Theorem 3 adversary: edge ``(0, 1)``."""
+    return Tree(2, [(0, 1)])
+
+
+def path_tree(n: int) -> Tree:
+    """A path ``0 - 1 - ... - n-1``."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return Tree(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def star_tree(n: int, center: int = 0) -> Tree:
+    """A star with ``center`` adjacent to every other node."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if not (0 <= center < n):
+        raise ValueError(f"center {center} out of range for n={n}")
+    return Tree(n, [(center, i) for i in range(n) if i != center])
+
+
+def binary_tree(depth: int) -> Tree:
+    """A complete binary tree of the given depth (depth 0 = single node)."""
+    return balanced_kary_tree(2, depth)
+
+
+def balanced_kary_tree(k: int, depth: int) -> Tree:
+    """A complete k-ary tree: node 0 is the root; node ``i`` has children
+    ``k*i + 1 .. k*i + k`` while in range.  ``depth`` levels below the root."""
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    if depth < 0:
+        raise ValueError(f"need depth >= 0, got {depth}")
+    n = sum(k**d for d in range(depth + 1))
+    edges = []
+    for i in range(n):
+        for c in range(k * i + 1, k * i + k + 1):
+            if c < n:
+                edges.append((i, c))
+    return Tree(n, edges)
+
+
+def caterpillar_tree(spine: int, legs_per_node: int) -> Tree:
+    """A caterpillar: a spine path with ``legs_per_node`` leaves per spine node.
+
+    Spine nodes are ``0..spine-1``; leaves are appended after them.
+    """
+    if spine < 1:
+        raise ValueError(f"need spine >= 1, got {spine}")
+    if legs_per_node < 0:
+        raise ValueError(f"need legs_per_node >= 0, got {legs_per_node}")
+    edges: List[Tuple[int, int]] = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, nxt))
+            nxt += 1
+    return Tree(nxt, edges)
+
+
+def spider_tree(legs: int, leg_length: int) -> Tree:
+    """A spider: ``legs`` paths of ``leg_length`` nodes joined at hub node 0."""
+    if legs < 0:
+        raise ValueError(f"need legs >= 0, got {legs}")
+    if leg_length < 1 and legs > 0:
+        raise ValueError(f"need leg_length >= 1, got {leg_length}")
+    edges: List[Tuple[int, int]] = []
+    nxt = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            edges.append((prev, nxt))
+            prev = nxt
+            nxt += 1
+    return Tree(max(nxt, 1), edges)
+
+
+def random_tree(n: int, seed: int) -> Tree:
+    """A uniformly random labeled tree on ``n`` nodes via a Prüfer sequence."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if n == 1:
+        return Tree(1, [])
+    if n == 2:
+        return two_node_tree()
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    return tree_from_prufer(prufer)
+
+
+def tree_from_prufer(prufer: Sequence[int]) -> Tree:
+    """Decode a Prüfer sequence into the tree it encodes (n = len + 2)."""
+    n = len(prufer) + 2
+    degree = [1] * n
+    for x in prufer:
+        if not (0 <= x < n):
+            raise ValueError(f"prufer entry {x} out of range for n={n}")
+        degree[x] += 1
+    edges: List[Tuple[int, int]] = []
+    # Standard decode: repeatedly attach the smallest remaining leaf.
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    a = heapq.heappop(leaves)
+    b = heapq.heappop(leaves)
+    edges.append((a, b))
+    return Tree(n, edges)
+
+
+def from_networkx(graph) -> Tree:
+    """Build a :class:`Tree` from a ``networkx`` tree graph.
+
+    Node labels must already be ``0..n-1``; use ``networkx.convert_node_labels_
+    to_integers`` first otherwise.
+    """
+    n = graph.number_of_nodes()
+    if set(graph.nodes()) != set(range(n)):
+        raise ValueError("graph nodes must be labeled 0..n-1")
+    return Tree(n, list(graph.edges()))
+
+
+#: Named topology families used by benches: name -> builder(n) (approximate n).
+def standard_topologies(n: int, seed: int = 0):
+    """Return a dict of representative topologies with about ``n`` nodes each.
+
+    Used by the benchmark sweeps so every experiment sees a path, a star, a
+    balanced binary tree, a caterpillar, and a random tree of comparable size.
+    """
+    import math
+
+    depth = max(1, int(math.log2(max(n, 2))) - 1)
+    spine = max(1, n // 3)
+    return {
+        "path": path_tree(n),
+        "star": star_tree(n),
+        "binary": binary_tree(depth),
+        "caterpillar": caterpillar_tree(spine, 2),
+        "random": random_tree(n, seed),
+    }

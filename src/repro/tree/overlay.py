@@ -1,0 +1,130 @@
+"""DHT-derived aggregation trees (SDIMS/Plaxton-style overlay substrate).
+
+The paper assumes the tree is given; in SDIMS — the system this paper
+generalizes — each attribute key gets its own aggregation tree embedded in
+a Plaxton-mesh DHT: every node routes toward the key by fixing one more
+leading bit of its identifier per hop, and the union of those routes is a
+tree rooted at the node whose id best matches the key.
+
+:func:`plaxton_tree` reproduces that construction: given the member ids
+and a key, each node's parent is the member that (1) matches the key in
+strictly more leading bits and (2) among those, shares the longest prefix
+with the node itself (PRR-style locality; ties broken by xor distance).
+Different keys therefore yield different trees over the same membership —
+exactly how SDIMS spreads aggregation load — which
+:func:`key_tree_family` exposes directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tree.topology import Tree
+
+
+def common_prefix_length(a: int, b: int, bits: int) -> int:
+    """Number of equal leading bits of two ``bits``-wide identifiers."""
+    if not (0 <= a < (1 << bits) and 0 <= b < (1 << bits)):
+        raise ValueError(f"ids must fit in {bits} bits")
+    diff = a ^ b
+    if diff == 0:
+        return bits
+    return bits - diff.bit_length()
+
+
+@dataclass(frozen=True)
+class OverlayTree:
+    """A key's aggregation tree over a DHT membership.
+
+    Attributes
+    ----------
+    tree:
+        The topology, over dense indices ``0..n-1``.
+    ids:
+        ``ids[i]`` is the DHT identifier of tree node ``i``.
+    key:
+        The key this tree aggregates.
+    root:
+        Tree index of the root (the best-matching member).
+    """
+
+    tree: Tree
+    ids: Tuple[int, ...]
+    key: int
+    root: int
+
+    def node_of(self, dht_id: int) -> int:
+        """Tree index of a member, by DHT id."""
+        try:
+            return self.ids.index(dht_id)
+        except ValueError:
+            raise KeyError(f"id {dht_id:#x} is not a member") from None
+
+
+def plaxton_tree(ids: Sequence[int], key: int, bits: int = 32) -> OverlayTree:
+    """Build the aggregation tree for ``key`` over the given member ids.
+
+    Every member's parent is the member matching ``key`` in strictly more
+    leading bits, chosen to share the longest prefix with the member
+    itself (ties by xor distance, then id).  The member with the maximal
+    key match is the root.  The result is always a tree: parents strictly
+    increase key-match length, so the parent relation is acyclic and every
+    chain ends at the root.
+    """
+    members = list(ids)
+    if not members:
+        raise ValueError("need at least one member id")
+    if len(set(members)) != len(members):
+        raise ValueError("member ids must be distinct")
+    for x in members:
+        if not (0 <= x < (1 << bits)):
+            raise ValueError(f"id {x} does not fit in {bits} bits")
+    if not (0 <= key < (1 << bits)):
+        raise ValueError(f"key {key} does not fit in {bits} bits")
+
+    n = len(members)
+    cpl_key = {x: common_prefix_length(x, key, bits) for x in members}
+    # Root: best key match; ties by xor distance to the key, then id.
+    root_id = min(members, key=lambda x: (-cpl_key[x], x ^ key, x))
+    index = {x: i for i, x in enumerate(members)}
+    edges: List[Tuple[int, int]] = []
+    for x in members:
+        if x == root_id:
+            continue
+        candidates = [y for y in members if cpl_key[y] > cpl_key[x]]
+        if not candidates:
+            # x ties the root's match length but lost the tie-break; attach
+            # to the root directly (the "surrogate routing" case).
+            parent = root_id
+        else:
+            parent = min(
+                candidates,
+                key=lambda y: (-common_prefix_length(x, y, bits), x ^ y, y),
+            )
+        edges.append((index[x], index[parent]))
+    tree = Tree(n, edges)
+    return OverlayTree(tree=tree, ids=tuple(members), key=key, root=index[root_id])
+
+
+def random_membership(n: int, bits: int = 32, seed: int = 0) -> List[int]:
+    """``n`` distinct uniform ``bits``-wide identifiers."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if n > (1 << bits):
+        raise ValueError(f"cannot draw {n} distinct {bits}-bit ids")
+    rng = random.Random(seed)
+    out: set = set()
+    while len(out) < n:
+        out.add(rng.getrandbits(bits))
+    return sorted(out)
+
+
+def key_tree_family(
+    ids: Sequence[int], keys: Sequence[int], bits: int = 32
+) -> Dict[int, OverlayTree]:
+    """One aggregation tree per key over a fixed membership — SDIMS's
+    load-spreading property: different attributes aggregate along
+    different trees, rooted at different members."""
+    return {key: plaxton_tree(ids, key, bits) for key in keys}

@@ -1,0 +1,274 @@
+"""The :class:`Tree` topology object.
+
+A :class:`Tree` is an immutable undirected tree over integer node ids
+``0..n-1``.  It validates treeness at construction (connected, acyclic,
+``n - 1`` edges) and precomputes the adjacency structure.  The queries used
+throughout the paper's analysis are provided directly:
+
+* ``subtree(u, v)`` — Section 2: *"removal of (u, v) yields two trees;
+  subtree(u, v) is defined to be one of the trees that contains u."*
+* ``parent_towards(root, v)`` — the *root-parent* of ``v`` (Section 3.2:
+  "for any two distinct nodes u and v, we define the u-parent of v as the
+  parent of v in tree T rooted at u").
+* ``directed_edges()`` — ordered neighbor pairs, the index set of the
+  per-edge cost decomposition (Lemma 3.9).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+Edge = Tuple[int, int]
+
+
+class Tree:
+    """An immutable undirected tree over nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (``n >= 1``).
+    edges:
+        Exactly ``n - 1`` undirected edges ``(a, b)`` forming a tree.
+
+    Raises
+    ------
+    ValueError
+        If the edge set is not a tree on ``0..n-1`` (wrong edge count,
+        out-of-range endpoints, self-loops, duplicates, or disconnected).
+    """
+
+    __slots__ = ("_n", "_edges", "_adj", "_subtree_cache", "_edge_index")
+
+    def __init__(self, n: int, edges: Iterable[Edge]) -> None:
+        if n < 1:
+            raise ValueError(f"a tree needs at least one node, got n={n}")
+        edge_list: List[Edge] = []
+        seen: set[FrozenSet[int]] = set()
+        adj: List[List[int]] = [[] for _ in range(n)]
+        for a, b in edges:
+            if not (0 <= a < n and 0 <= b < n):
+                raise ValueError(f"edge ({a}, {b}) out of range for n={n}")
+            if a == b:
+                raise ValueError(f"self-loop ({a}, {b}) is not allowed")
+            key = frozenset((a, b))
+            if key in seen:
+                raise ValueError(f"duplicate edge ({a}, {b})")
+            seen.add(key)
+            edge_list.append((a, b))
+            adj[a].append(b)
+            adj[b].append(a)
+        if len(edge_list) != n - 1:
+            raise ValueError(f"a tree on {n} nodes needs {n - 1} edges, got {len(edge_list)}")
+        self._n = n
+        self._edges: Tuple[Edge, ...] = tuple(edge_list)
+        self._adj: Tuple[Tuple[int, ...], ...] = tuple(tuple(sorted(a)) for a in adj)
+        self._assert_connected()
+        self._subtree_cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        self._edge_index = {frozenset(e): i for i, e in enumerate(self._edges)}
+
+    # ------------------------------------------------------------------ basic
+    def _assert_connected(self) -> None:
+        seen = [False] * self._n
+        seen[0] = True
+        stack = [0]
+        count = 1
+        while stack:
+            u = stack.pop()
+            for w in self._adj[u]:
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(w)
+        if count != self._n:
+            raise ValueError("edge set is disconnected: not a tree")
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """The undirected edges, in construction order."""
+        return self._edges
+
+    def nodes(self) -> range:
+        """All node ids, ``0..n-1``."""
+        return range(self._n)
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        """The sorted neighbor set ``nbrs()`` of ``u``."""
+        self._check_node(u)
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        """Number of neighbors of ``u``."""
+        return len(self.neighbors(u))
+
+    def is_leaf(self, u: int) -> bool:
+        """True when ``u`` has exactly one neighbor (or the tree is a single node)."""
+        return len(self.neighbors(u)) <= 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when ``(u, v)`` is an edge of the tree."""
+        self._check_node(u)
+        self._check_node(v)
+        return frozenset((u, v)) in self._edge_index
+
+    def directed_edges(self) -> Iterator[Edge]:
+        """Yield every ordered pair ``(u, v)`` of neighbors — ``2(n-1)`` pairs.
+
+        This is the index set of the cost decomposition of Lemma 3.9: the
+        total message count of a lease-based algorithm is the sum over
+        ordered pairs of the directional per-edge costs.
+        """
+        for a, b in self._edges:
+            yield (a, b)
+            yield (b, a)
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self._n):
+            raise ValueError(f"node {u} out of range for n={self._n}")
+
+    # ----------------------------------------------------------- tree queries
+    def subtree(self, u: int, v: int) -> FrozenSet[int]:
+        """Nodes of ``subtree(u, v)``: the component containing ``u`` after
+        deleting edge ``(u, v)``.  Requires ``(u, v)`` to be an edge."""
+        self._check_node(u)
+        self._check_node(v)
+        if not self.has_edge(u, v):
+            raise ValueError(f"({u}, {v}) is not an edge of the tree")
+        key = (u, v)
+        cached = self._subtree_cache.get(key)
+        if cached is not None:
+            return cached
+        members = {u}
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            for w in self._adj[x]:
+                if w == v and x == u:
+                    continue
+                if w not in members:
+                    members.add(w)
+                    stack.append(w)
+        result = frozenset(members)
+        self._subtree_cache[key] = result
+        self._subtree_cache[(v, u)] = frozenset(self.nodes()) - result
+        return result
+
+    def parent_towards(self, root: int, v: int) -> int:
+        """The *root-parent* of ``v``: ``v``'s parent when T is rooted at ``root``.
+
+        Equivalently, the neighbor of ``v`` on the unique ``v -> root`` path.
+        Requires ``v != root``.
+        """
+        self._check_node(root)
+        self._check_node(v)
+        if v == root:
+            raise ValueError("the root has no parent")
+        parents = self.bfs_parents(root)
+        return parents[v]
+
+    def bfs_parents(self, root: int) -> List[int]:
+        """Parent array for T rooted at ``root`` (``parents[root] == root``)."""
+        self._check_node(root)
+        parents = [-1] * self._n
+        parents[root] = root
+        dq = deque([root])
+        while dq:
+            u = dq.popleft()
+            for w in self._adj[u]:
+                if parents[w] == -1:
+                    parents[w] = u
+                    dq.append(w)
+        return parents
+
+    def bfs_order(self, root: int) -> List[int]:
+        """Nodes in BFS order from ``root``."""
+        self._check_node(root)
+        seen = [False] * self._n
+        seen[root] = True
+        order = [root]
+        dq = deque([root])
+        while dq:
+            u = dq.popleft()
+            for w in self._adj[u]:
+                if not seen[w]:
+                    seen[w] = True
+                    order.append(w)
+                    dq.append(w)
+        return order
+
+    def path(self, u: int, v: int) -> List[int]:
+        """The unique simple path from ``u`` to ``v`` (inclusive)."""
+        self._check_node(u)
+        self._check_node(v)
+        parents = self.bfs_parents(u)
+        out = [v]
+        while out[-1] != u:
+            out.append(parents[out[-1]])
+        out.reverse()
+        return out
+
+    def distance(self, u: int, v: int) -> int:
+        """Hop count between ``u`` and ``v``."""
+        return len(self.path(u, v)) - 1
+
+    def depths(self, root: int) -> List[int]:
+        """Depth of every node for T rooted at ``root``."""
+        parents = self.bfs_parents(root)
+        depths = [-1] * self._n
+        depths[root] = 0
+        for u in self.bfs_order(root):
+            if u != root:
+                depths[u] = depths[parents[u]] + 1
+        return depths
+
+    def diameter(self) -> int:
+        """The tree's diameter in hops (0 for a single node)."""
+        far = max(self.nodes(), key=lambda v: self.distance(0, v))
+        return max(self.distance(far, v) for v in self.nodes())
+
+    def eccentric_leaf_pair(self) -> Tuple[int, int]:
+        """A pair of nodes realizing the diameter."""
+        a = max(self.nodes(), key=lambda v: self.distance(0, v))
+        b = max(self.nodes(), key=lambda v: self.distance(a, v))
+        return (a, b)
+
+    def centroid(self) -> int:
+        """A centroid: a node minimizing the largest component after removal."""
+        best, best_score = 0, self._n + 1
+        for u in self.nodes():
+            score = max(
+                (len(self.subtree(w, u)) for w in self.neighbors(u)),
+                default=0,
+            )
+            if score < best_score:
+                best, best_score = u, score
+        return best
+
+    # ------------------------------------------------------------- conversion
+    def to_networkx(self):
+        """Return this tree as a ``networkx.Graph``."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from(self._edges)
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return self._n == other._n and set(map(frozenset, self._edges)) == set(
+            map(frozenset, other._edges)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, frozenset(map(frozenset, self._edges))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tree(n={self._n}, edges={list(self._edges)!r})"

@@ -1,0 +1,6 @@
+"""Small shared utilities: table formatting for bench output and RNG helpers."""
+
+from repro.util.tables import format_table
+from repro.util.seeding import spawn_seeds
+
+__all__ = ["format_table", "spawn_seeds"]

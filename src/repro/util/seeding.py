@@ -1,0 +1,21 @@
+"""Deterministic seed derivation for sweeps."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+
+def spawn_seeds(base_seed: int, count: int, namespace: str = "") -> List[int]:
+    """Derive ``count`` independent 32-bit seeds from a base seed.
+
+    Uses SHA-256 over ``(namespace, base_seed, i)`` so adding a new sweep
+    dimension (a new namespace) never perturbs existing streams.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    out: List[int] = []
+    for i in range(count):
+        h = hashlib.sha256(f"{namespace}|{base_seed}|{i}".encode()).digest()
+        out.append(int.from_bytes(h[:4], "big"))
+    return out

@@ -1,0 +1,40 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints paper-shaped tables; this keeps the formatting
+in one place (fixed-width columns, right-aligned numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render a fixed-width table; numbers right-aligned, text left-aligned."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def render_row(row: Sequence[str], raw: Sequence[Any] | None = None) -> str:
+        parts = []
+        for i, c in enumerate(row):
+            is_num = raw is not None and isinstance(raw[i], (int, float))
+            parts.append(c.rjust(widths[i]) if is_num else c.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, cells):
+        lines.append(render_row(row, raw))
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Request model and workload generators.
+
+:mod:`repro.workloads.requests` defines the paper's request tuple
+``(node, op, arg, retval, index)`` and sequence helpers.  The generator
+modules produce the synthetic request sequences the benchmarks sweep over:
+
+* :mod:`repro.workloads.synthetic` — seeded uniform/Zipf/hotspot mixes with a
+  configurable combine (read) ratio.
+* :mod:`repro.workloads.phases` — workloads whose read/write mix shifts over
+  time (the intro's motivation for adaptive aggregation).
+* :mod:`repro.workloads.adversarial` — the Theorem 3 adversary ``ADV(a, b)``
+  on the 2-node tree.
+"""
+
+from repro.workloads.requests import (
+    COMBINE,
+    WRITE,
+    Request,
+    combine,
+    count_ops,
+    scoped_combine,
+    validate_sequence,
+    write,
+)
+from repro.workloads.synthetic import (
+    WorkloadSpec,
+    hotspot_workload,
+    uniform_workload,
+    zipf_node_weights,
+    zipf_workload,
+)
+from repro.workloads.phases import alternating_phases, phase_workload
+from repro.workloads.adversarial import adv_sequence, adv_sequence_strong
+
+__all__ = [
+    "Request",
+    "COMBINE",
+    "WRITE",
+    "combine",
+    "scoped_combine",
+    "write",
+    "count_ops",
+    "validate_sequence",
+    "WorkloadSpec",
+    "uniform_workload",
+    "zipf_workload",
+    "hotspot_workload",
+    "zipf_node_weights",
+    "phase_workload",
+    "alternating_phases",
+    "adv_sequence",
+    "adv_sequence_strong",
+]

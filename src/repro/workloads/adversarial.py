@@ -1,0 +1,96 @@
+"""The Theorem 3 adversary.
+
+Theorem 3's lower bound: for any ``(a, b)``-algorithm on a sufficiently long
+request sequence, the competitive ratio is at least 5/2.  The adversary ADV
+works on the 2-node tree (edge ``(u, v)`` = ``(1, 0)`` here): it generates
+``a`` combine requests at the reading node followed by ``b`` write requests
+at the writing node, repeatedly.
+
+Against an ``(a, b)``-algorithm this forces the worst case of both rules:
+the lease is granted on exactly the last combine of each read burst (paying
+the full probe/response cost for all ``a`` combines) and broken on exactly
+the last write of each write burst (paying for all ``b`` updates plus the
+release), while the offline algorithm either keeps the lease through the
+whole round or never grants it — whichever is cheaper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.requests import Request, combine, write
+
+
+def adv_sequence(
+    a: int,
+    b: int,
+    rounds: int,
+    reader: int = 0,
+    writer: int = 1,
+    value_base: float = 1.0,
+) -> List[Request]:
+    """``rounds`` repetitions of [``a`` combines at ``reader``, ``b`` writes
+    at ``writer``] — the ADV request generator of Theorem 3."""
+    if a < 1 or b < 1:
+        raise ValueError(f"need a >= 1 and b >= 1, got a={a}, b={b}")
+    if rounds < 0:
+        raise ValueError(f"rounds must be non-negative, got {rounds}")
+    if reader == writer:
+        raise ValueError("reader and writer must differ")
+    out: List[Request] = []
+    val = value_base
+    for _ in range(rounds):
+        for _ in range(a):
+            out.append(combine(reader))
+        for _ in range(b):
+            out.append(write(writer, val))
+            val += 1.0
+    return out
+
+
+def single_edge_alternating(rounds: int, reader: int = 0, writer: int = 1) -> List[Request]:
+    """Strictly alternating combine/write — the classic worst case for
+    eager strategies; ADV(1, 1)."""
+    return adv_sequence(1, 1, rounds, reader=reader, writer=writer)
+
+
+def adv_sequence_strong(
+    a: int,
+    b: int,
+    rounds: int,
+    reader: int = 0,
+    writer: int = 1,
+    value_base: float = 1.0,
+) -> List[Request]:
+    """The strengthened adversary: ``a`` combines at ``reader``, one write
+    *at the reader*, then ``b`` writes at ``writer``, per round.
+
+    The reader-side write is invisible to the (a, b)-algorithm's automaton
+    for the edge direction under attack (it generates no messages) but
+    hands the offline algorithm a *noop* break opportunity costing 1
+    (Figure 2's true-N-false row).  With it, the offline cost per round is
+    ``min(2a, b, 3)`` and the forced ratio ``(2a + b + 1) / min(2a, b, 3)``
+    is at least 5/2 for **every** (a, b), with equality exactly at
+    RWW = (1, 2) — the full strength of Theorem 3.
+
+    (The paper's proof sketch describes only the combine/write rounds; on
+    the plain pattern the (2, 4)-algorithm achieves 9/4 < 5/2, so the
+    noop is necessary — see EXPERIMENTS.md, THM3.)
+    """
+    if a < 1 or b < 1:
+        raise ValueError(f"need a >= 1 and b >= 1, got a={a}, b={b}")
+    if rounds < 0:
+        raise ValueError(f"rounds must be non-negative, got {rounds}")
+    if reader == writer:
+        raise ValueError("reader and writer must differ")
+    out: List[Request] = []
+    val = value_base
+    for _ in range(rounds):
+        for _ in range(a):
+            out.append(combine(reader))
+        out.append(write(reader, val))
+        val += 1.0
+        for _ in range(b):
+            out.append(write(writer, val))
+            val += 1.0
+    return out

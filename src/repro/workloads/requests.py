@@ -1,0 +1,133 @@
+"""The request model.
+
+Section 2: *"A request is a tuple (node, op, arg, retval)"* where ``op`` is
+``combine`` or ``write``; Section 5 extends it with ``index`` (the number of
+requests generated at ``q.node`` and completed before ``q``) and a ``gather``
+op used only inside the causal-consistency analysis.
+
+:class:`Request` carries all five fields.  ``retval`` and ``index`` are
+filled in by the execution engine; generators produce requests with both
+unset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+#: Request op constants.
+COMBINE = "combine"
+WRITE = "write"
+GATHER = "gather"  # Section 5 analysis-only op.
+
+_VALID_OPS = (COMBINE, WRITE, GATHER)
+
+
+@dataclass
+class Request:
+    """One aggregation request.
+
+    Attributes
+    ----------
+    node:
+        Node where the request is initiated.
+    op:
+        ``"combine"`` or ``"write"`` (``"gather"`` appears only in ghost
+        logs for the Section 5 analysis).
+    arg:
+        Write argument (the new local value); ``None`` for combines.
+    retval:
+        Filled by the engine: the returned global aggregate for combines.
+    index:
+        Filled by the engine: the number of requests initiated at
+        ``node`` and completed before this one (Section 5's definition).
+    initiated_at, completed_at:
+        Virtual times stamped by the concurrent engine (0.0 when
+        sequential).
+    scope:
+        ``None`` for the paper's global combine; a neighbor id for a
+        *scoped* combine (extension): aggregate only over
+        ``subtree(scope, node)``, the subtree hanging off that neighbor.
+    """
+
+    node: int
+    op: str
+    arg: Any = None
+    retval: Any = None
+    index: int = -1
+    initiated_at: float = 0.0
+    completed_at: float = 0.0
+    scope: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"invalid op {self.op!r}; expected one of {_VALID_OPS}")
+        if self.op == WRITE and self.arg is None:
+            raise ValueError("write requests need an arg")
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == WRITE
+
+    @property
+    def is_combine(self) -> bool:
+        return self.op == COMBINE
+
+    def copy_unexecuted(self) -> "Request":
+        """A fresh copy with retval/index/times reset (for replays)."""
+        return Request(node=self.node, op=self.op, arg=self.arg, scope=self.scope)
+
+
+def combine(node: int) -> Request:
+    """Convenience constructor for a combine request at ``node``."""
+    return Request(node=node, op=COMBINE)
+
+
+def scoped_combine(node: int, toward: int) -> Request:
+    """A scoped combine at ``node`` over ``subtree(toward, node)`` —
+    the subtree hanging off neighbor ``toward`` (extension)."""
+    return Request(node=node, op=COMBINE, scope=toward)
+
+
+def write(node: int, arg: Any) -> Request:
+    """Convenience constructor for a write of ``arg`` at ``node``."""
+    return Request(node=node, op=WRITE, arg=arg)
+
+
+def count_ops(sequence: Iterable[Request]) -> Tuple[int, int]:
+    """Return ``(num_combines, num_writes)`` in the sequence."""
+    c = w = 0
+    for q in sequence:
+        if q.op == COMBINE:
+            c += 1
+        elif q.op == WRITE:
+            w += 1
+    return c, w
+
+
+def validate_sequence(sequence: Sequence[Request], n_nodes: int) -> None:
+    """Raise ``ValueError`` if any request targets a node outside ``0..n-1``
+    or uses an op other than combine/write."""
+    for i, q in enumerate(sequence):
+        if not (0 <= q.node < n_nodes):
+            raise ValueError(f"request {i} targets node {q.node}, outside 0..{n_nodes - 1}")
+        if q.op not in (COMBINE, WRITE):
+            raise ValueError(f"request {i} has op {q.op!r}; sequences use combine/write only")
+
+
+def copy_sequence(sequence: Sequence[Request]) -> List[Request]:
+    """Fresh unexecuted copies of every request (for running the same σ
+    through several algorithms)."""
+    return [q.copy_unexecuted() for q in sequence]
+
+
+def latest_writes(sequence: Sequence[Request], upto: Optional[int] = None) -> dict:
+    """Map ``node -> arg`` of each node's most recent write among the first
+    ``upto`` requests (all by default).  The reference for strict
+    consistency: ``A(σ, q)`` of Section 2."""
+    stop = len(sequence) if upto is None else upto
+    out: dict = {}
+    for q in sequence[:stop]:
+        if q.op == WRITE:
+            out[q.node] = q.arg
+    return out

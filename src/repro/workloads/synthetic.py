@@ -1,0 +1,163 @@
+"""Seeded synthetic workload generators.
+
+Every generator returns a plain list of unexecuted
+:class:`~repro.workloads.requests.Request` objects and is deterministic in
+its ``seed``.  The knobs mirror the paper's discussion: the combine/write
+mix (the intro's read- vs write-dominated regimes) and the spatial skew of
+which nodes issue requests (uniform, Zipf, hotspot).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.workloads.requests import Request, combine, write
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative workload description (used by benchmark sweeps).
+
+    Attributes
+    ----------
+    length:
+        Number of requests.
+    read_ratio:
+        Probability a request is a combine.
+    skew:
+        Zipf exponent for node selection (0 = uniform).
+    seed:
+        RNG seed.
+    """
+
+    length: int
+    read_ratio: float
+    skew: float = 0.0
+    seed: int = 0
+
+    def generate(self, n_nodes: int) -> List[Request]:
+        """Materialize the spec on an ``n_nodes``-node tree."""
+        if self.skew == 0.0:
+            return uniform_workload(
+                n_nodes, self.length, read_ratio=self.read_ratio, seed=self.seed
+            )
+        return zipf_workload(
+            n_nodes,
+            self.length,
+            read_ratio=self.read_ratio,
+            exponent=self.skew,
+            seed=self.seed,
+        )
+
+
+def _mixed_sequence(
+    rng: random.Random,
+    length: int,
+    read_ratio: float,
+    pick_node: "callable",
+    value_lo: float = 0.0,
+    value_hi: float = 100.0,
+) -> List[Request]:
+    if not (0.0 <= read_ratio <= 1.0):
+        raise ValueError(f"read_ratio must be in [0, 1], got {read_ratio}")
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    out: List[Request] = []
+    for _ in range(length):
+        node = pick_node(rng)
+        if rng.random() < read_ratio:
+            out.append(combine(node))
+        else:
+            out.append(write(node, rng.uniform(value_lo, value_hi)))
+    return out
+
+
+def uniform_workload(
+    n_nodes: int,
+    length: int,
+    read_ratio: float = 0.5,
+    seed: int = 0,
+) -> List[Request]:
+    """Requests at uniformly random nodes with the given combine ratio."""
+    rng = random.Random(seed)
+    return _mixed_sequence(rng, length, read_ratio, lambda r: r.randrange(n_nodes))
+
+
+def zipf_node_weights(n_nodes: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf weights ``rank^-exponent`` over node ids 0..n-1."""
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, n_nodes + 1, dtype=float)
+    w = ranks**-exponent
+    return w / w.sum()
+
+
+def zipf_workload(
+    n_nodes: int,
+    length: int,
+    read_ratio: float = 0.5,
+    exponent: float = 1.0,
+    seed: int = 0,
+) -> List[Request]:
+    """Requests at Zipf-distributed nodes (node 0 hottest)."""
+    rng = random.Random(seed)
+    weights = zipf_node_weights(n_nodes, exponent)
+    cum = np.cumsum(weights)
+
+    def pick(r: random.Random) -> int:
+        return int(np.searchsorted(cum, r.random(), side="right"))
+
+    return _mixed_sequence(rng, length, read_ratio, pick)
+
+
+def hotspot_workload(
+    n_nodes: int,
+    length: int,
+    hot_nodes: Sequence[int],
+    hot_fraction: float = 0.9,
+    read_ratio: float = 0.5,
+    seed: int = 0,
+) -> List[Request]:
+    """A ``hot_fraction`` of requests land on ``hot_nodes``, the rest uniform."""
+    if not hot_nodes:
+        raise ValueError("hot_nodes must be non-empty")
+    if not (0.0 <= hot_fraction <= 1.0):
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    for h in hot_nodes:
+        if not (0 <= h < n_nodes):
+            raise ValueError(f"hot node {h} out of range for n={n_nodes}")
+    rng = random.Random(seed)
+    hot = list(hot_nodes)
+
+    def pick(r: random.Random) -> int:
+        if r.random() < hot_fraction:
+            return hot[r.randrange(len(hot))]
+        return r.randrange(n_nodes)
+
+    return _mixed_sequence(rng, length, read_ratio, pick)
+
+
+def reader_writer_partition_workload(
+    reader_nodes: Sequence[int],
+    writer_nodes: Sequence[int],
+    length: int,
+    read_ratio: float = 0.5,
+    seed: int = 0,
+) -> List[Request]:
+    """Combines come only from ``reader_nodes``, writes only from
+    ``writer_nodes`` — the paper's two-sided picture of an edge, writ large."""
+    if not reader_nodes or not writer_nodes:
+        raise ValueError("both node groups must be non-empty")
+    rng = random.Random(seed)
+    readers, writers = list(reader_nodes), list(writer_nodes)
+    out: List[Request] = []
+    for _ in range(length):
+        if rng.random() < read_ratio:
+            out.append(combine(readers[rng.randrange(len(readers))]))
+        else:
+            out.append(write(writers[rng.randrange(len(writers))], rng.uniform(0, 100)))
+    return out

@@ -1,0 +1,93 @@
+"""Workload trace serialization (JSONL).
+
+Deterministic seeds regenerate synthetic workloads, but real deployments
+replay *recorded* traces.  This module round-trips request sequences (and
+executed results) through a line-per-request JSON format so experiments
+can be archived, diffed, and replayed across machines:
+
+    {"node": 3, "op": "write", "arg": 7.5}
+    {"node": 0, "op": "combine"}
+
+Executed fields (``retval``/``index``/timestamps) are preserved when
+present, so a saved result file is itself a valid replayable workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.workloads.requests import Request
+
+PathLike = Union[str, Path]
+
+
+def request_to_dict(q: Request) -> dict:
+    """A JSON-safe dict for one request (unset fields omitted)."""
+    out: dict = {"node": q.node, "op": q.op}
+    if q.arg is not None:
+        out["arg"] = q.arg
+    if q.scope is not None:
+        out["scope"] = q.scope
+    if q.retval is not None:
+        out["retval"] = q.retval
+    if q.index >= 0:
+        out["index"] = q.index
+    if q.initiated_at or q.completed_at:
+        out["initiated_at"] = q.initiated_at
+        out["completed_at"] = q.completed_at
+    return out
+
+
+def request_from_dict(d: dict) -> Request:
+    """Inverse of :func:`request_to_dict`."""
+    if "node" not in d or "op" not in d:
+        raise ValueError(f"trace record missing node/op: {d!r}")
+    q = Request(node=int(d["node"]), op=str(d["op"]), arg=d.get("arg"), scope=d.get("scope"))
+    q.retval = d.get("retval")
+    q.index = int(d.get("index", -1))
+    q.initiated_at = float(d.get("initiated_at", 0.0))
+    q.completed_at = float(d.get("completed_at", 0.0))
+    return q
+
+
+def save_trace(path: PathLike, requests: Sequence[Request]) -> int:
+    """Write requests as JSONL; returns the number of lines written."""
+    p = Path(path)
+    with p.open("w") as fh:
+        for q in requests:
+            fh.write(json.dumps(request_to_dict(q)) + "\n")
+    return len(requests)
+
+
+def load_trace(path: PathLike) -> List[Request]:
+    """Read a JSONL trace back into unexecuted-or-executed requests."""
+    out: List[Request] = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            out.append(request_from_dict(record))
+    return out
+
+
+def dumps_trace(requests: Iterable[Request]) -> str:
+    """The JSONL text for a sequence (for tests and in-memory use)."""
+    return "".join(json.dumps(request_to_dict(q)) + "\n" for q in requests)
+
+
+def loads_trace(text: str) -> List[Request]:
+    """Inverse of :func:`dumps_trace`."""
+    out: List[Request] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        out.append(request_from_dict(json.loads(line)))
+    return out

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.tree import (
+    Tree,
+    balanced_kary_tree,
+    binary_tree,
+    caterpillar_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+    two_node_tree,
+)
+from repro.workloads import Request, combine, write
+
+
+@pytest.fixture
+def pair() -> Tree:
+    """The 2-node tree (Theorem 3's setting)."""
+    return two_node_tree()
+
+
+@pytest.fixture
+def path5() -> Tree:
+    return path_tree(5)
+
+
+@pytest.fixture
+def star6() -> Tree:
+    return star_tree(6)
+
+
+@pytest.fixture
+def bintree() -> Tree:
+    """Complete binary tree of depth 3 (15 nodes)."""
+    return binary_tree(3)
+
+
+@pytest.fixture(params=["pair", "path", "star", "binary", "caterpillar", "random"])
+def any_tree(request) -> Tree:
+    """A representative small topology of each family."""
+    return {
+        "pair": two_node_tree(),
+        "path": path_tree(6),
+        "star": star_tree(6),
+        "binary": binary_tree(2),
+        "caterpillar": caterpillar_tree(3, 2),
+        "random": random_tree(9, 42),
+    }[request.param]
+
+
+def make_mixed_sequence(n_nodes: int, length: int, seed: int, read_ratio: float = 0.5) -> List[Request]:
+    """A small deterministic combine/write mix for direct use in tests."""
+    rng = random.Random(seed)
+    out: List[Request] = []
+    for i in range(length):
+        node = rng.randrange(n_nodes)
+        if rng.random() < read_ratio:
+            out.append(combine(node))
+        else:
+            out.append(write(node, float(rng.randrange(100))))
+    return out

@@ -1,0 +1,174 @@
+"""Tests for the competitive-analysis machinery (Figures 4/5, potentials)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    PAPER_CONSTRAINT_ROWS,
+    PAPER_POTENTIALS,
+    RatioReport,
+    competitive_ratio,
+    product_transitions,
+    ratio_sweep,
+    reachable_states,
+    rww_step,
+    opt_choices,
+    solve_competitive_lp,
+    verify_potential_on_machine,
+    verify_potential_on_tokens,
+)
+from repro.analysis.lp import PAPER_C, build_lp
+from repro.analysis.statemachine import generated_constraint_rows, nontrivial_transitions
+from repro.analysis.competitive import worst_ratio
+from repro.offline.projection import NOOP, READ, WRITE_TOKEN
+from repro.tree import path_tree, star_tree, two_node_tree
+from repro.workloads import uniform_workload
+
+TOKENS = st.lists(st.sampled_from([READ, WRITE_TOKEN, NOOP]), max_size=25)
+
+
+class TestStateMachine:
+    def test_six_states_reachable(self):
+        assert reachable_states() == {(x, y) for x in (0, 1) for y in (0, 1, 2)}
+
+    def test_transition_count(self):
+        # 6 states x 3 tokens, OPT has 2 choices on (0,R), (1,W), (1,N):
+        # per state: R + W + N choices = (2,1,1) at x=0 and (1,2,2) at x=1,
+        # times 3 y-values each -> 12 + 15 = 27.
+        assert len(product_transitions()) == 27
+
+    def test_rww_step_matches_figure2(self):
+        assert rww_step(0, READ) == (2, 2)
+        assert rww_step(1, READ) == (2, 0)
+        assert rww_step(2, READ) == (2, 0)
+        assert rww_step(2, WRITE_TOKEN) == (1, 1)
+        assert rww_step(1, WRITE_TOKEN) == (0, 2)
+        assert rww_step(0, WRITE_TOKEN) == (0, 0)
+        assert rww_step(2, NOOP) == (2, 0)
+
+    def test_rww_step_rejects_bad_token(self):
+        with pytest.raises(ValueError):
+            rww_step(0, "Z")
+
+    def test_opt_choices_match_figure2(self):
+        assert set(opt_choices(0, READ)) == {(0, 2), (1, 2)}
+        assert set(opt_choices(1, READ)) == {(1, 0)}
+        assert set(opt_choices(1, WRITE_TOKEN)) == {(1, 1), (0, 2)}
+        assert set(opt_choices(1, NOOP)) == {(1, 0), (0, 1)}
+        assert set(opt_choices(0, NOOP)) == {(0, 0)}
+
+    def test_generated_rows_match_figure5(self):
+        """Our machine reproduces Figure 5's constraint list exactly
+        (modulo the trivially-satisfied 0 <= 0 rows the figure includes
+        for completeness)."""
+        gen = set(generated_constraint_rows())
+        paper = {
+            tuple(r)
+            for r in PAPER_CONSTRAINT_ROWS
+            if not (r[0] == r[1] and r[2] == 0 and r[3] == 0)
+        }
+        assert gen == paper
+
+    def test_paper_lists_21_rows(self):
+        assert len(PAPER_CONSTRAINT_ROWS) == 21
+
+    def test_nontrivial_transitions_19(self):
+        rows = {(t.dst, t.src, t.rww_cost, t.opt_cost) for t in nontrivial_transitions()}
+        assert len(rows) == 19
+
+
+class TestLP:
+    def test_lp_dimensions(self):
+        obj, a_ub, b_ub = build_lp()
+        assert obj.shape == (7,)
+        assert a_ub.shape == (27, 7)
+        assert b_ub.shape == (27,)
+
+    def test_lp_solves_to_5_halves(self):
+        sol = solve_competitive_lp()
+        assert sol.c == pytest.approx(PAPER_C, abs=1e-8)
+
+    def test_lp_potentials_feasible(self):
+        sol = solve_competitive_lp()
+        assert verify_potential_on_machine(sol.potentials, sol.c + 1e-9) == []
+
+    def test_paper_potentials_certify_5_halves(self):
+        assert verify_potential_on_machine(PAPER_POTENTIALS, PAPER_C) == []
+
+    def test_paper_potentials_tight(self):
+        # 5/2 is optimal: a smaller c is infeasible for the paper potentials
+        # (and for any potentials, per the LP optimum).
+        violations = verify_potential_on_machine(PAPER_POTENTIALS, PAPER_C - 0.01)
+        assert violations
+
+    def test_lp_solution_str(self):
+        s = str(solve_competitive_lp())
+        assert "c = 2.5" in s
+
+
+class TestPotentialVerification:
+    def test_detects_bad_potential(self):
+        bad = dict(PAPER_POTENTIALS)
+        bad[(1, 0)] = 0.0  # breaks the (1,0) R-transition constraint
+        violations = verify_potential_on_machine(bad, PAPER_C)
+        assert violations
+        assert "exceeds" in str(violations[0])
+
+    @given(TOKENS)
+    @settings(max_examples=100, deadline=None)
+    def test_amortized_inequality_on_token_streams(self, tokens):
+        rww_total, opt_total, violations = verify_potential_on_tokens(
+            tokens, PAPER_POTENTIALS, PAPER_C
+        )
+        assert violations == []
+        # Telescoping: C_RWW <= c * C_OPT (initial potential 0, final >= 0).
+        assert rww_total <= PAPER_C * opt_total + 1e-9
+
+    @given(TOKENS)
+    @settings(max_examples=100, deadline=None)
+    def test_token_replay_totals_match_cost_functions(self, tokens):
+        from repro.offline.edge_dp import edge_dp_cost, rww_edge_cost
+
+        rww_total, opt_total, _ = verify_potential_on_tokens(
+            tokens, PAPER_POTENTIALS, PAPER_C
+        )
+        assert rww_total == rww_edge_cost(tokens)
+        assert opt_total == edge_dp_cost(tokens).cost
+
+
+class TestCompetitiveHarness:
+    def test_ratio_report_fields(self):
+        tree = two_node_tree()
+        wl = uniform_workload(2, 40, read_ratio=0.5, seed=0)
+        report = competitive_ratio(tree, wl, label="x")
+        assert report.algorithm_cost > 0
+        assert report.ratio_vs_opt <= 2.5 + 1e-9
+        # Theorem 2's bound is asymptotic: each ordered edge's final,
+        # uncounted partial epoch can cost RWW up to 5 extra messages.
+        assert report.algorithm_cost <= 5 * report.nice_bound + 5 * 2 * (tree.n - 1)
+
+    def test_zero_cost_ratios(self):
+        r = RatioReport(label="z", algorithm_cost=0, opt_lease_bound=0, nice_bound=0)
+        assert r.ratio_vs_opt == 1.0 and r.ratio_vs_nice == 1.0
+        r2 = RatioReport(label="z", algorithm_cost=5, opt_lease_bound=0, nice_bound=0)
+        assert r2.ratio_vs_opt == float("inf")
+
+    def test_ratio_sweep_and_worst(self):
+        topologies = {"pair": two_node_tree(), "path": path_tree(4), "star": star_tree(4)}
+        reports = ratio_sweep(
+            topologies,
+            lambda n, seed: uniform_workload(n, 30, read_ratio=0.5, seed=seed),
+            seeds=range(3),
+        )
+        assert len(reports) == 9
+        assert worst_ratio(reports, vs="opt") <= 2.5 + 1e-9
+        # vs-nice is asymptotic; short sweeps only satisfy the additive form
+        # (checked per-report in test_theorems.py on long sequences).
+        assert worst_ratio(reports, vs="nice") < float("inf")
+
+    def test_worst_ratio_validates_vs(self):
+        with pytest.raises(ValueError):
+            worst_ratio([], vs="bogus")

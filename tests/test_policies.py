@@ -1,0 +1,235 @@
+"""Tests for the lease-policy family (RWW, (a,b), always, never)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ABPolicy,
+    AggregationSystem,
+    AlwaysLeasePolicy,
+    NeverLeasePolicy,
+    RWWPolicy,
+    WriteOncePolicy,
+    path_tree,
+    random_tree,
+    two_node_tree,
+)
+from repro.core.policy import LeasePolicy
+from repro.workloads import adv_sequence, combine, uniform_workload, write
+from repro.workloads.requests import copy_sequence
+
+
+class TestRWWPolicy:
+    def test_is_1_2_algorithm_on_pair(self):
+        """Corollary 4.1: lease set after 1 combine, broken after 2 writes."""
+        tree = two_node_tree()
+        system = AggregationSystem(tree)
+        system.execute(combine(0))
+        assert system.nodes[1].granted[0]  # set after a = 1 combine
+        system.execute(write(1, 1.0))
+        assert system.nodes[1].granted[0]
+        system.execute(write(1, 2.0))
+        assert not system.nodes[1].granted[0]  # broken after b = 2 writes
+
+    def test_lt_refreshed_by_combine(self):
+        tree = two_node_tree()
+        system = AggregationSystem(tree)
+        system.execute(combine(0))
+        system.execute(write(1, 1.0))
+        assert system.nodes[0].policy.lt[1] == 1
+        system.execute(combine(0))
+        assert system.nodes[0].policy.lt[1] == 2
+
+    def test_relay_defers_lt_decrement(self):
+        # While node 1 still has a granted lease toward 0, updates from 2
+        # are relayed without touching lt[2] (I4's relay branch): the
+        # decrement is charged retroactively when the downstream lease
+        # releases.
+        tree = path_tree(3)
+        system = AggregationSystem(tree)
+        system.execute(combine(0))
+        system.execute(write(2, 1.0))
+        assert system.nodes[1].policy.lt[2] == 2  # relaying: untouched
+        assert system.nodes[0].policy.lt[1] == 1  # endpoint: decremented
+        system.execute(write(2, 2.0))  # cascade: all leases toward 0 break
+        assert not system.nodes[1].granted[0]
+        assert not system.nodes[2].granted[1]
+
+    def test_lt_refreshed_by_probe_passthrough(self):
+        # A probe travelling through an interior node refreshes its other
+        # taken leases (probercvd) after re-establishment.
+        tree = path_tree(3)
+        system = AggregationSystem(tree)
+        system.execute(combine(0))
+        system.execute(write(2, 1.0))
+        system.execute(write(2, 2.0))  # lease broken everywhere
+        system.execute(combine(0))  # re-established; node 1 relays the probe
+        assert system.nodes[1].policy.lt[2] == 2
+
+    def test_setlease_always_true(self):
+        policy = RWWPolicy()
+        assert policy.set_lease(None, 0) is True
+
+
+class TestABPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ABPolicy(0, 2)
+        with pytest.raises(ValueError):
+            ABPolicy(1, 0)
+
+    def test_write_once_is_1_1(self):
+        p = WriteOncePolicy()
+        assert p.a == 1 and p.b == 1
+
+
+class TestABEquivalences:
+    @given(
+        st.integers(min_value=0, max_value=1_000),
+        st.integers(min_value=2, max_value=9),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ab12_equals_rww_sequential(self, seed, n, read_ratio):
+        tree = random_tree(n, seed % 53)
+        wl = uniform_workload(tree.n, 50, read_ratio=read_ratio, seed=seed)
+        c_rww = AggregationSystem(tree).run(copy_sequence(wl)).total_messages
+        c_ab = AggregationSystem(
+            tree, policy_factory=lambda: ABPolicy(1, 2)
+        ).run(copy_sequence(wl)).total_messages
+        assert c_rww == c_ab
+
+    def test_ab_semantics_on_pair(self):
+        """(a, b) definition checked literally on the 2-node tree."""
+        a, b = 3, 2
+        tree = two_node_tree()
+        system = AggregationSystem(tree, policy_factory=lambda: ABPolicy(a, b))
+        # a - 1 combines: no lease yet.
+        for _ in range(a - 1):
+            system.execute(combine(0))
+            assert not system.nodes[1].granted[0]
+        system.execute(combine(0))
+        assert system.nodes[1].granted[0]  # set on the a-th combine
+        for _ in range(b - 1):
+            system.execute(write(1, 1.0))
+            assert system.nodes[1].granted[0]
+        system.execute(write(1, 2.0))
+        assert not system.nodes[1].granted[0]  # broken on the b-th write
+
+    def test_ab_combine_streak_reset_by_write(self):
+        tree = two_node_tree()
+        system = AggregationSystem(tree, policy_factory=lambda: ABPolicy(2, 2))
+        system.execute(combine(0))
+        system.execute(write(1, 1.0))  # interrupts the streak
+        system.execute(combine(0))
+        assert not system.nodes[1].granted[0]
+        system.execute(combine(0))
+        assert system.nodes[1].granted[0]
+
+    def test_ab_break_tolerance_larger_b(self):
+        tree = two_node_tree()
+        system = AggregationSystem(tree, policy_factory=lambda: ABPolicy(1, 4))
+        system.execute(combine(0))
+        for i in range(3):
+            system.execute(write(1, float(i)))
+            assert system.nodes[1].granted[0]
+        system.execute(write(1, 9.0))
+        assert not system.nodes[1].granted[0]
+
+
+class TestAlwaysLease:
+    def test_never_releases(self):
+        tree = path_tree(3)
+        system = AggregationSystem(tree, policy_factory=AlwaysLeasePolicy)
+        system.execute(combine(0))
+        for i in range(10):
+            system.execute(write(2, float(i)))
+        assert system.nodes[1].granted[0]
+        assert system.stats.by_kind().get("release", 0) == 0
+
+    def test_reads_free_after_warmup(self):
+        tree = path_tree(4)
+        system = AggregationSystem(tree, policy_factory=AlwaysLeasePolicy)
+        system.execute(combine(0))
+        before = system.stats.total
+        system.execute(combine(0))
+        assert system.stats.total == before
+
+    def test_every_write_pays_path(self):
+        tree = path_tree(4)
+        system = AggregationSystem(tree, policy_factory=AlwaysLeasePolicy)
+        system.execute(combine(0))  # leases 3->2->1->0
+        before = system.stats.total
+        system.execute(write(3, 1.0))
+        assert system.stats.total - before == 3  # update hops to node 0
+
+
+class TestNeverLease:
+    def test_no_leases_ever(self):
+        tree = path_tree(4)
+        system = AggregationSystem(tree, policy_factory=NeverLeasePolicy)
+        wl = uniform_workload(tree.n, 30, read_ratio=0.5, seed=1)
+        system.run(copy_sequence(wl))
+        assert system.lease_graph_edges() == []
+        kinds = system.stats.by_kind()
+        assert kinds.get("update", 0) == 0
+        assert kinds.get("release", 0) == 0
+
+    def test_every_combine_pays_full_pull(self):
+        tree = path_tree(4)
+        system = AggregationSystem(tree, policy_factory=NeverLeasePolicy)
+        for _ in range(3):
+            before = system.stats.total
+            system.execute(combine(0))
+            assert system.stats.total - before == 2 * (tree.n - 1)
+
+    def test_writes_free(self):
+        tree = path_tree(4)
+        system = AggregationSystem(tree, policy_factory=NeverLeasePolicy)
+        system.execute(combine(0))
+        before = system.stats.total
+        system.execute(write(3, 1.0))
+        assert system.stats.total == before
+
+
+class TestPolicyBaseClass:
+    def test_default_policy_is_inert(self):
+        p = LeasePolicy()
+        assert p.set_lease(None, 0) is False
+        assert p.break_lease(None, 0) is False
+        # Event hooks are no-ops.
+        p.on_combine(None)
+        p.on_write(None)
+        p.probe_rcvd(None, 0)
+        p.response_rcvd(None, True, 0)
+        p.update_rcvd(None, 0)
+        p.release_rcvd(None, 0)
+        p.release_policy(None, 0)
+
+    def test_default_policy_behaves_like_never_lease(self):
+        tree = path_tree(3)
+        wl = uniform_workload(tree.n, 30, read_ratio=0.5, seed=3)
+        c_default = AggregationSystem(
+            tree, policy_factory=LeasePolicy
+        ).run(copy_sequence(wl)).total_messages
+        c_never = AggregationSystem(
+            tree, policy_factory=NeverLeasePolicy
+        ).run(copy_sequence(wl)).total_messages
+        assert c_default == c_never
+
+
+class TestAdversarialBehaviour:
+    @pytest.mark.parametrize("a,b", [(1, 1), (1, 2), (2, 2), (3, 1)])
+    def test_adv_forces_full_cost_each_round(self, a, b):
+        """ADV(a, b) makes the (a,b)-algorithm pay 2a + b + 1 per round on
+        the pair tree: 2 per combine (before the grant), 1 per tolerated
+        write, +1 for the release on the b-th write."""
+        tree = two_node_tree()
+        rounds = 50
+        wl = adv_sequence(a, b, rounds=rounds)
+        system = AggregationSystem(tree, policy_factory=lambda: ABPolicy(a, b))
+        total = system.run(copy_sequence(wl)).total_messages
+        assert total == rounds * (2 * a + b + 1)

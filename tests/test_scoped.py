@@ -1,0 +1,140 @@
+"""Tests for scoped (subtree) combines — the partial-read extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import AggregationSystem, binary_tree, path_tree, star_tree
+from repro.consistency import check_strict_consistency
+from repro.workloads import combine, write
+from repro.workloads.requests import scoped_combine
+
+
+class TestBasics:
+    def test_scoped_value_on_path(self):
+        system = AggregationSystem(path_tree(4))
+        system.execute(write(2, 5.0))
+        system.execute(write(3, 7.0))
+        system.execute(write(0, 100.0))
+        # At node 1, looking toward node 2: subtree {2, 3}.
+        r = system.execute(scoped_combine(1, toward=2))
+        assert r.retval == 12.0
+
+    def test_scope_must_be_neighbor(self):
+        system = AggregationSystem(path_tree(4))
+        with pytest.raises(ValueError, match="not a neighbor"):
+            system.execute(scoped_combine(0, toward=3))
+
+    def test_cold_scoped_read_probes_only_that_subtree(self):
+        system = AggregationSystem(binary_tree(2))  # root 0, kids 1, 2
+        before = system.stats.total
+        system.execute(scoped_combine(0, toward=1))  # subtree {1, 3, 4}
+        # One probe/response wave over the 3 edges of that subtree.
+        assert system.stats.total - before == 6
+        kinds = system.stats.by_kind()
+        assert kinds["probe"] == 3 and kinds["response"] == 3
+
+    def test_warm_scoped_read_is_free(self):
+        system = AggregationSystem(path_tree(3))
+        system.execute(scoped_combine(1, toward=2))  # installs the lease
+        before = system.stats.total
+        r = system.execute(scoped_combine(1, toward=2))
+        assert system.stats.total == before
+        assert r.retval == 0.0
+
+    def test_scoped_read_installs_lease_and_updates_flow(self):
+        system = AggregationSystem(path_tree(3))
+        system.execute(scoped_combine(0, toward=1))
+        assert system.nodes[1].granted[0]
+        before = system.stats.total
+        system.execute(write(2, 9.0))
+        assert system.stats.total - before == 2  # update hops 2 -> 1 -> 0
+        assert system.execute(scoped_combine(0, toward=1)).retval == 9.0
+
+    def test_scoped_and_global_interoperate(self):
+        system = AggregationSystem(star_tree(4))
+        system.execute(write(1, 1.0))
+        system.execute(write(2, 2.0))
+        system.execute(write(3, 4.0))
+        assert system.execute(combine(0)).retval == 7.0
+        assert system.execute(scoped_combine(0, toward=2)).retval == 2.0
+
+    def test_rww_two_write_break_applies_to_scoped_leases(self):
+        system = AggregationSystem(path_tree(2))
+        system.execute(scoped_combine(0, toward=1))
+        system.execute(write(1, 1.0))
+        assert system.nodes[1].granted[0]
+        system.execute(write(1, 2.0))
+        assert not system.nodes[1].granted[0]
+
+    def test_scoped_read_refreshes_lease_timer(self):
+        system = AggregationSystem(path_tree(2))
+        system.execute(scoped_combine(0, toward=1))
+        system.execute(write(1, 1.0))
+        system.execute(scoped_combine(0, toward=1))  # refresh
+        system.execute(write(1, 2.0))
+        assert system.nodes[1].granted[0]  # one write since the refresh
+
+
+class TestConsistency:
+    def test_mixed_workload_scoped_strictness(self):
+        rng = random.Random(4)
+        tree = binary_tree(3)
+        system = AggregationSystem(tree)
+        requests = []
+        for _ in range(150):
+            x = rng.random()
+            node = rng.randrange(tree.n)
+            if x < 0.4:
+                requests.append(system.execute(write(node, float(rng.randrange(100)))))
+            elif x < 0.7:
+                requests.append(system.execute(combine(node)))
+            else:
+                toward = rng.choice(tree.neighbors(node))
+                requests.append(system.execute(scoped_combine(node, toward)))
+            system.check_quiescent_invariants()
+        assert check_strict_consistency(requests, tree.n, tree=tree) == []
+
+    def test_checker_requires_tree_for_scoped(self):
+        tree = path_tree(3)
+        system = AggregationSystem(tree)
+        reqs = [system.execute(scoped_combine(1, toward=2))]
+        with pytest.raises(ValueError, match="pass the tree"):
+            check_strict_consistency(reqs, tree.n)
+
+    def test_checker_flags_bad_scoped_value(self):
+        tree = path_tree(3)
+        system = AggregationSystem(tree)
+        r = system.execute(scoped_combine(1, toward=2))
+        r.retval = 999.0
+        violations = check_strict_consistency([r], tree.n, tree=tree)
+        assert len(violations) == 1
+
+    def test_offline_comparators_reject_scoped(self):
+        from repro.offline import offline_lease_lower_bound
+
+        tree = path_tree(3)
+        with pytest.raises(ValueError, match="scoped"):
+            offline_lease_lower_bound(tree, [scoped_combine(1, toward=2)])
+
+
+class TestConcurrent:
+    def test_scoped_in_concurrent_engine(self):
+        from repro import ConcurrentAggregationSystem, ScheduledRequest
+        from repro.sim.channel import constant_latency
+
+        tree = path_tree(4)
+        sched = [
+            ScheduledRequest(0.0, write(3, 5.0)),
+            ScheduledRequest(100.0, scoped_combine(1, toward=2)),
+            ScheduledRequest(200.0, scoped_combine(1, toward=0)),
+        ]
+        system = ConcurrentAggregationSystem(
+            tree, latency=constant_latency(1.0), ghost=False
+        )
+        result = system.run(sched)
+        combines = [q for q in result.requests if q.op == "combine"]
+        assert combines[0].retval == 5.0  # subtree {2, 3}
+        assert combines[1].retval == 0.0  # subtree {0}

@@ -1,0 +1,136 @@
+"""Strict consistency (Section 2, Lemma 3.12) for sequential executions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AVERAGE,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    ABPolicy,
+    AggregationSystem,
+    AlwaysLeasePolicy,
+    NeverLeasePolicy,
+    RWWPolicy,
+    WriteOncePolicy,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from repro.consistency import check_strict_consistency, expected_combine_value
+from repro.consistency.strict import assert_strict_consistency
+from repro.ops import k_smallest
+from repro.workloads import combine, uniform_workload, write
+from repro.workloads.requests import copy_sequence
+
+POLICIES = [RWWPolicy, AlwaysLeasePolicy, NeverLeasePolicy, WriteOncePolicy,
+            lambda: ABPolicy(2, 3)]
+POLICY_IDS = ["rww", "always", "never", "writeonce", "ab23"]
+
+
+class TestLeaseBasedStrictness:
+    @pytest.mark.parametrize("policy", POLICIES, ids=POLICY_IDS)
+    def test_every_policy_is_strictly_consistent(self, policy, any_tree):
+        wl = uniform_workload(any_tree.n, 60, read_ratio=0.5, seed=13)
+        system = AggregationSystem(any_tree, policy_factory=policy)
+        result = system.run(copy_sequence(wl))
+        assert check_strict_consistency(result.requests, any_tree.n) == []
+
+    @pytest.mark.parametrize(
+        "op", [SUM, MIN, MAX, COUNT, AVERAGE, k_smallest(3)],
+        ids=["sum", "min", "max", "count", "average", "k3"],
+    )
+    def test_all_operators_strictly_consistent(self, op):
+        tree = random_tree(7, 3)
+        wl = uniform_workload(tree.n, 60, read_ratio=0.5, seed=4)
+        system = AggregationSystem(tree, op=op)
+        result = system.run(copy_sequence(wl))
+        assert check_strict_consistency(result.requests, tree.n, op=op) == []
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_strictness_random(self, seed, n, read_ratio):
+        tree = random_tree(max(n, 1), seed % 101)
+        wl = uniform_workload(tree.n, 30, read_ratio=read_ratio, seed=seed)
+        system = AggregationSystem(tree)
+        result = system.run(copy_sequence(wl))
+        assert check_strict_consistency(result.requests, tree.n) == []
+
+    def test_combine_before_any_write_returns_identity(self):
+        tree = path_tree(3)
+        system = AggregationSystem(tree)
+        assert system.execute(combine(1)).retval == 0.0
+
+    def test_overwrites_supersede(self):
+        tree = path_tree(3)
+        system = AggregationSystem(tree)
+        system.execute(write(0, 5.0))
+        system.execute(write(0, 2.0))
+        assert system.execute(combine(2)).retval == 2.0
+
+    def test_stale_cached_values_refreshed_on_pull(self):
+        # Break the lease with two writes; ensure the next combine still
+        # sees the latest value (it must re-pull).
+        tree = path_tree(3)
+        system = AggregationSystem(tree)
+        system.execute(combine(0))
+        system.execute(write(2, 1.0))
+        system.execute(write(2, 9.0))
+        assert system.execute(combine(0)).retval == 9.0
+
+    def test_min_with_unwritten_nodes(self):
+        tree = star_tree(4)
+        system = AggregationSystem(tree, op=MIN)
+        system.execute(write(1, 4.0))
+        assert system.execute(combine(3)).retval == 4.0
+
+    def test_average_finalize_roundtrip(self):
+        tree = star_tree(4)
+        system = AggregationSystem(tree, op=AVERAGE)
+        system.execute(write(1, 4.0))
+        system.execute(write(2, 8.0))
+        retval = system.execute(combine(0)).retval
+        assert AVERAGE.finalize(retval) == pytest.approx(6.0)
+
+
+class TestCheckerItself:
+    def test_detects_wrong_retval(self):
+        reqs = [write(0, 1.0), combine(1)]
+        reqs[0].index = 0
+        reqs[1].retval = 42.0  # wrong: should be 1.0
+        violations = check_strict_consistency(reqs, 2)
+        assert len(violations) == 1
+        assert violations[0].expected == 1.0
+        assert violations[0].actual == 42.0
+        assert "expected" in str(violations[0])
+
+    def test_assert_helper_raises(self):
+        reqs = [write(0, 1.0), combine(1)]
+        reqs[1].retval = 42.0
+        with pytest.raises(AssertionError, match="strict-consistency"):
+            assert_strict_consistency(reqs, 2)
+
+    def test_assert_helper_passes_clean_history(self):
+        reqs = [write(0, 1.0), combine(1)]
+        reqs[1].retval = 1.0
+        assert_strict_consistency(reqs, 2)
+
+    def test_expected_value_uses_identity_for_unwritten(self):
+        assert expected_combine_value(SUM, {0: 3.0}, 4) == 3.0
+        assert expected_combine_value(MIN, {}, 4) == math.inf
+
+    def test_float_tolerance(self):
+        reqs = [write(0, 0.1), write(1, 0.2), combine(2)]
+        reqs[2].retval = 0.30000000000000004
+        assert check_strict_consistency(reqs, 3) == []

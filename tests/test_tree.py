@@ -1,0 +1,261 @@
+"""Tests for repro.tree: topology queries and generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree import (
+    Tree,
+    balanced_kary_tree,
+    binary_tree,
+    caterpillar_tree,
+    from_networkx,
+    path_tree,
+    random_tree,
+    spider_tree,
+    star_tree,
+    two_node_tree,
+)
+from repro.tree.generators import standard_topologies, tree_from_prufer
+
+
+class TestTreeValidation:
+    def test_single_node(self):
+        t = Tree(1, [])
+        assert t.n == 1
+        assert t.neighbors(0) == ()
+        assert t.is_leaf(0)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            Tree(0, [])
+
+    def test_rejects_wrong_edge_count(self):
+        with pytest.raises(ValueError, match="needs 2 edges"):
+            Tree(3, [(0, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Tree(2, [(0, 5)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Tree(2, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Tree(3, [(0, 1), (1, 0)])
+
+    def test_rejects_cycle_disconnected(self):
+        # 3 edges on 4 nodes but with a cycle => disconnected remainder.
+        with pytest.raises(ValueError, match="disconnected"):
+            Tree(4, [(0, 1), (1, 2), (2, 0)])
+
+    def test_equality_ignores_edge_orientation(self):
+        assert Tree(3, [(0, 1), (1, 2)]) == Tree(3, [(1, 0), (2, 1)])
+
+    def test_hashable(self):
+        assert len({Tree(2, [(0, 1)]), two_node_tree()}) == 1
+
+
+class TestTreeQueries:
+    def test_neighbors_sorted(self, star6):
+        assert star6.neighbors(0) == (1, 2, 3, 4, 5)
+        assert star6.neighbors(3) == (0,)
+
+    def test_degree_and_leaf(self, path5):
+        assert path5.degree(0) == 1 and path5.is_leaf(0)
+        assert path5.degree(2) == 2 and not path5.is_leaf(2)
+
+    def test_has_edge(self, path5):
+        assert path5.has_edge(1, 2) and path5.has_edge(2, 1)
+        assert not path5.has_edge(0, 2)
+
+    def test_directed_edges_count(self, any_tree):
+        assert len(list(any_tree.directed_edges())) == 2 * (any_tree.n - 1)
+
+    def test_subtree_partition(self, any_tree):
+        for u, v in any_tree.directed_edges():
+            su = any_tree.subtree(u, v)
+            sv = any_tree.subtree(v, u)
+            assert u in su and v in sv
+            assert su.isdisjoint(sv)
+            assert su | sv == set(any_tree.nodes())
+
+    def test_subtree_requires_edge(self, path5):
+        with pytest.raises(ValueError, match="not an edge"):
+            path5.subtree(0, 2)
+
+    def test_subtree_path_example(self, path5):
+        assert path5.subtree(1, 2) == frozenset({0, 1})
+        assert path5.subtree(2, 1) == frozenset({2, 3, 4})
+
+    def test_parent_towards(self, path5):
+        assert path5.parent_towards(0, 4) == 3
+        assert path5.parent_towards(4, 0) == 1
+
+    def test_parent_of_root_raises(self, path5):
+        with pytest.raises(ValueError, match="root has no parent"):
+            path5.parent_towards(2, 2)
+
+    def test_bfs_parents_cover_all(self, bintree):
+        parents = bintree.bfs_parents(0)
+        assert parents[0] == 0
+        assert all(p >= 0 for p in parents)
+
+    def test_bfs_order_starts_at_root(self, bintree):
+        order = bintree.bfs_order(5)
+        assert order[0] == 5
+        assert sorted(order) == list(bintree.nodes())
+
+    def test_path_endpoints_and_adjacency(self, any_tree):
+        nodes = list(any_tree.nodes())
+        u, v = nodes[0], nodes[-1]
+        p = any_tree.path(u, v)
+        assert p[0] == u and p[-1] == v
+        for a, b in zip(p, p[1:]):
+            assert any_tree.has_edge(a, b)
+
+    def test_path_to_self(self, path5):
+        assert path5.path(3, 3) == [3]
+
+    def test_distance_symmetry(self, any_tree):
+        for u in any_tree.nodes():
+            for v in any_tree.nodes():
+                assert any_tree.distance(u, v) == any_tree.distance(v, u)
+
+    def test_distance_path(self, path5):
+        assert path5.distance(0, 4) == 4
+
+    def test_depths(self, bintree):
+        depths = bintree.depths(0)
+        assert depths[0] == 0
+        assert depths[1] == depths[2] == 1
+        assert max(depths) == 3
+
+    def test_diameter_path(self):
+        assert path_tree(7).diameter() == 6
+
+    def test_diameter_star(self):
+        assert star_tree(7).diameter() == 2
+
+    def test_diameter_single_node(self):
+        assert Tree(1, []).diameter() == 0
+
+    def test_eccentric_leaf_pair(self, path5):
+        a, b = path5.eccentric_leaf_pair()
+        assert path5.distance(a, b) == path5.diameter()
+
+    def test_centroid_of_path(self):
+        assert path_tree(5).centroid() == 2
+
+    def test_centroid_of_star(self):
+        assert star_tree(9).centroid() == 0
+
+    def test_to_networkx_roundtrip(self, any_tree):
+        g = any_tree.to_networkx()
+        assert from_networkx(g) == any_tree
+
+    def test_from_networkx_rejects_bad_labels(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError, match="labeled"):
+            from_networkx(g)
+
+    def test_node_range_checks(self, path5):
+        with pytest.raises(ValueError):
+            path5.neighbors(99)
+        with pytest.raises(ValueError):
+            path5.subtree(99, 0)
+
+
+class TestGenerators:
+    def test_two_node(self):
+        t = two_node_tree()
+        assert t.n == 2 and t.has_edge(0, 1)
+
+    def test_path_structure(self):
+        t = path_tree(4)
+        assert t.degree(0) == t.degree(3) == 1
+        assert t.degree(1) == t.degree(2) == 2
+
+    def test_star_center(self):
+        t = star_tree(5, center=2)
+        assert t.degree(2) == 4
+
+    def test_star_rejects_bad_center(self):
+        with pytest.raises(ValueError):
+            star_tree(3, center=7)
+
+    def test_binary_tree_sizes(self):
+        assert binary_tree(0).n == 1
+        assert binary_tree(2).n == 7
+        assert binary_tree(3).n == 15
+
+    def test_kary_tree_sizes(self):
+        assert balanced_kary_tree(3, 2).n == 13
+        assert balanced_kary_tree(1, 4).n == 5  # degenerates to a path
+
+    def test_kary_validation(self):
+        with pytest.raises(ValueError):
+            balanced_kary_tree(0, 2)
+        with pytest.raises(ValueError):
+            balanced_kary_tree(2, -1)
+
+    def test_caterpillar(self):
+        t = caterpillar_tree(3, 2)
+        assert t.n == 9
+        assert t.degree(1) == 4  # middle spine: two spine nbrs + two legs
+
+    def test_caterpillar_validation(self):
+        with pytest.raises(ValueError):
+            caterpillar_tree(0, 1)
+        with pytest.raises(ValueError):
+            caterpillar_tree(2, -1)
+
+    def test_spider(self):
+        t = spider_tree(3, 2)
+        assert t.n == 7
+        assert t.degree(0) == 3
+
+    def test_spider_single_hub(self):
+        assert spider_tree(0, 1).n == 1
+
+    def test_random_tree_deterministic(self):
+        assert random_tree(10, 5) == random_tree(10, 5)
+
+    def test_random_tree_varies_with_seed(self):
+        trees = {random_tree(10, s) for s in range(10)}
+        assert len(trees) > 1
+
+    def test_random_tree_small_sizes(self):
+        assert random_tree(1, 0).n == 1
+        assert random_tree(2, 0).n == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=6))
+    def test_prufer_decode_always_a_tree(self, prufer):
+        n = len(prufer) + 2
+        seq = [x % n for x in prufer]
+        t = tree_from_prufer(seq)
+        assert t.n == n  # Tree.__init__ already validates treeness
+
+    def test_prufer_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            tree_from_prufer([99])
+
+    def test_standard_topologies_are_trees(self):
+        topos = standard_topologies(12, seed=1)
+        assert set(topos) == {"path", "star", "binary", "caterpillar", "random"}
+        for t in topos.values():
+            assert isinstance(t, Tree)
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30)
+    def test_random_tree_subtree_sizes_consistent(self, n, seed):
+        t = random_tree(n, seed)
+        for u, v in t.directed_edges():
+            assert len(t.subtree(u, v)) + len(t.subtree(v, u)) == n

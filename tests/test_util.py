@@ -1,0 +1,53 @@
+"""Tests for repro.util (tables, seeding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import format_table, spawn_seeds
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_floats_fixed_precision(self):
+        out = format_table(["r"], [[2.5]])
+        assert "2.500" in out
+
+    def test_numbers_right_aligned(self):
+        out = format_table(["v"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(1, 5) == spawn_seeds(1, 5)
+
+    def test_distinct_per_index(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_namespace_independence(self):
+        assert spawn_seeds(0, 3, "a") != spawn_seeds(0, 3, "b")
+
+    def test_count_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)

@@ -1,0 +1,87 @@
+"""Equivalence tests: vectorized comparators == scalar comparators."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline import nice_lower_bound, offline_lease_lower_bound
+from repro.offline.edge_dp import rww_analytic_cost
+from repro.offline.vectorized import (
+    edge_side_matrix,
+    nice_lower_bound_fast,
+    offline_lease_lower_bound_fast,
+    rww_analytic_cost_fast,
+)
+from repro.tree import binary_tree, path_tree, random_tree, star_tree
+from repro.workloads import uniform_workload
+from repro.workloads.requests import Request
+
+
+class TestSideMatrix:
+    def test_partition_rows(self):
+        tree = random_tree(8, 3)
+        edges, side = edge_side_matrix(tree)
+        assert side.shape == (2 * (tree.n - 1), tree.n)
+        index = {e: i for i, e in enumerate(edges)}
+        for u, v in tree.directed_edges():
+            fwd = side[index[(u, v)]]
+            rev = side[index[(v, u)]]
+            assert (fwd ^ rev).all()  # exact partition
+            assert fwd[u] and not fwd[v]
+
+
+class TestEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_three_match_scalar(self, seed, n, read_ratio):
+        tree = random_tree(n, seed % 89)
+        wl = uniform_workload(tree.n, 60, read_ratio=read_ratio, seed=seed)
+        assert offline_lease_lower_bound_fast(tree, wl) == offline_lease_lower_bound(tree, wl)
+        assert rww_analytic_cost_fast(tree, wl) == rww_analytic_cost(tree, wl)
+        assert nice_lower_bound_fast(tree, wl) == nice_lower_bound(tree, wl)
+
+    @pytest.mark.parametrize("tree", [path_tree(10), star_tree(10), binary_tree(3)],
+                             ids=["path", "star", "binary"])
+    def test_named_topologies(self, tree):
+        wl = uniform_workload(tree.n, 200, read_ratio=0.5, seed=17)
+        assert offline_lease_lower_bound_fast(tree, wl) == offline_lease_lower_bound(tree, wl)
+        assert rww_analytic_cost_fast(tree, wl) == rww_analytic_cost(tree, wl)
+        assert nice_lower_bound_fast(tree, wl) == nice_lower_bound(tree, wl)
+
+    def test_empty_sequence(self):
+        tree = path_tree(4)
+        assert offline_lease_lower_bound_fast(tree, []) == 0
+        assert rww_analytic_cost_fast(tree, []) == 0
+        assert nice_lower_bound_fast(tree, []) == 0
+
+    def test_rejects_gather(self):
+        tree = path_tree(3)
+        bad = [Request(node=0, op="gather")]
+        with pytest.raises(ValueError):
+            offline_lease_lower_bound_fast(tree, bad)
+        with pytest.raises(ValueError):
+            rww_analytic_cost_fast(tree, bad)
+        with pytest.raises(ValueError):
+            nice_lower_bound_fast(tree, bad)
+
+    def test_fast_path_is_faster_at_scale(self):
+        """On a large instance the vectorized DP should win clearly; we
+        assert a conservative 2x to keep the test robust on slow CI."""
+        tree = binary_tree(6)  # 127 nodes
+        wl = uniform_workload(tree.n, 400, read_ratio=0.5, seed=3)
+        t0 = time.perf_counter()
+        slow = offline_lease_lower_bound(tree, wl)
+        t_slow = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = offline_lease_lower_bound_fast(tree, wl)
+        t_fast = time.perf_counter() - t0
+        assert fast == slow
+        assert t_fast < t_slow / 2, f"fast={t_fast:.4f}s slow={t_slow:.4f}s"
