@@ -30,10 +30,12 @@ Package layout
 
 from repro.core.engine import (
     AggregationSystem,
+    CombineTimeout,
     ConcurrentAggregationSystem,
     ExecutionResult,
     ScheduledRequest,
 )
+from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
 from repro.core.mechanism import LeaseNode
 from repro.core.policy import LeasePolicy
 from repro.core.rww import RWWPolicy
@@ -65,9 +67,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregationSystem",
+    "CombineTimeout",
     "ConcurrentAggregationSystem",
     "ExecutionResult",
     "ScheduledRequest",
+    "ReliabilityConfig",
+    "reliable_concurrent_system",
     "LeaseNode",
     "LeasePolicy",
     "RWWPolicy",

@@ -8,6 +8,7 @@ Commands
 ``exact``      exact competitive ratio of a policy automaton (game solver)
 ``adversary``  run the Theorem-3 adversary against an (a, b)-algorithm
 ``baselines``  read-ratio sweep: RWW vs the static baselines
+``chaos``      fault-rate sweep under the reliable-delivery layer
 
 Workload traces can be saved/loaded as JSONL (``ratio --save/--load``), so
 an experiment run on one machine replays bit-identically on another.
@@ -259,6 +260,76 @@ def cmd_baselines(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.consistency import check_strict_consistency
+    from repro.core.engine import ConcurrentAggregationSystem, ScheduledRequest
+    from repro.sim.channel import constant_latency
+    from repro.sim.faults import FaultPlan
+    from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
+
+    if args.step_pct < 1:
+        raise SystemExit("--step-pct must be >= 1")
+    if not 0 <= args.max_rate_pct <= 40:
+        raise SystemExit("--max-rate-pct must be in [0, 40] "
+                         "(drop + dup + reorder draws must sum to <= 1)")
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    wl = uniform_workload(tree.n, args.length, read_ratio=args.read_ratio,
+                          seed=args.seed)
+    schedule = [
+        ScheduledRequest(time=args.gap * i, request=q)
+        for i, q in enumerate(copy_sequence(wl))
+    ]
+    ref = ConcurrentAggregationSystem(
+        tree, latency=constant_latency(1.0)
+    ).run([
+        ScheduledRequest(time=args.gap * i, request=q)
+        for i, q in enumerate(copy_sequence(wl))
+    ])
+    config = ReliabilityConfig(
+        base_timeout=6.0, backoff=1.5, max_timeout=20.0,
+        max_retries=args.max_retries, combine_deadline=args.gap,
+    )
+    rows = []
+    for rate in (r / 100 for r in range(0, args.max_rate_pct + 1, args.step_pct)):
+        system = reliable_concurrent_system(
+            tree,
+            FaultPlan(drop_prob=rate, duplicate_prob=rate / 2, reorder_prob=rate,
+                      seed=args.seed + 5),
+            config=config,
+            latency=constant_latency(1.0),
+            seed=args.seed,
+        )
+        result = system.run([
+            ScheduledRequest(time=sr.time, request=sr.request.copy_unexecuted())
+            for sr in schedule
+        ])
+        system.check_quiescent_invariants()
+        over = result.stats.overhead_by_kind()
+        strict = check_strict_consistency(result.requests, tree.n)
+        rows.append((
+            f"{rate:.2f}",
+            system.network.faults.count(),
+            result.stats.goodput,
+            "yes" if result.stats.goodput == ref.stats.total else "NO",
+            over.get("retransmit", 0),
+            over.get("ack", 0),
+            over.get("duplicate", 0),
+            len(result.failed_requests()),
+            "ok" if not strict else f"{len(strict)} VIOLATIONS",
+        ))
+    print(format_table(
+        ["fault rate", "faults", "goodput", "==ref", "retransmits", "acks",
+         "dups", "failed", "strict"],
+        rows,
+        title=(f"chaos sweep on {args.topology}/{tree.n} nodes, "
+               f"{args.length} requests (fault-free cost {ref.stats.total}):"),
+    ))
+    bad = [r for r in rows if r[3] == "NO" or r[7] or r[8] != "ok"]
+    print("\nreliable layer held: goodput fault-free-identical, zero failures"
+          if not bad else f"\n{len(bad)} rate(s) showed degradation")
+    return 0 if not bad else 1
+
+
 # ------------------------------------------------------------------ parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -307,6 +378,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("--length", type=int, default=500)
     p.set_defaults(fn=cmd_baselines)
+
+    p = sub.add_parser("chaos", help="fault sweep under reliable delivery")
+    add_common(p)
+    p.add_argument("--length", type=int, default=40)
+    p.add_argument("--read-ratio", type=float, default=0.5)
+    p.add_argument("--gap", type=float, default=600.0,
+                   help="virtual-time gap between requests (also the combine deadline)")
+    p.add_argument("--max-rate-pct", type=int, default=20,
+                   help="sweep drop/reorder rates from 0%% to this (dup at half)")
+    p.add_argument("--step-pct", type=int, default=5)
+    p.add_argument("--max-retries", type=int, default=25)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("exact-grid", help="exact ratios for the (a, b) grid")
     p.add_argument("--max-a", type=int, default=3)

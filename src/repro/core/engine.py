@@ -27,6 +27,7 @@ from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
 from repro.sim.channel import LatencyModel
 from repro.sim.network import Network, SynchronousNetwork
+from repro.sim.reliability import ReliabilityConfig, ReliableNetwork
 from repro.sim.scheduler import Simulator
 from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceLog
@@ -35,6 +36,23 @@ from repro.workloads.requests import COMBINE, WRITE, Request
 
 #: Builds a fresh policy instance for one node.
 PolicyFactory = Callable[[], LeasePolicy]
+
+
+@dataclass(frozen=True)
+class CombineTimeout:
+    """A combine the reliability watchdog failed fast instead of hanging.
+
+    Produced by :class:`ConcurrentAggregationSystem` when
+    ``reliability.combine_deadline`` is set and a combine is still
+    incomplete that long after initiation (e.g. because the reliable layer's
+    retry budget ran out on a dead channel).  The request itself is marked
+    ``failed = True``.
+    """
+
+    request: Request
+    node: int
+    initiated_at: float
+    deadline: float
 
 
 @dataclass
@@ -54,6 +72,9 @@ class ExecutionResult:
         The live node objects (for state inspection and ghost logs).
     tree:
         The topology the run used.
+    timeouts:
+        :class:`CombineTimeout` outcomes recorded by the reliability
+        watchdog (empty unless a deadline fired).
     """
 
     requests: List[Request]
@@ -61,6 +82,7 @@ class ExecutionResult:
     trace: TraceLog
     nodes: Dict[int, LeaseNode]
     tree: Tree
+    timeouts: List["CombineTimeout"] = field(default_factory=list)
 
     @property
     def total_messages(self) -> int:
@@ -70,6 +92,10 @@ class ExecutionResult:
     def combine_results(self) -> List[Any]:
         """Retvals of the combine requests, in initiation order."""
         return [q.retval for q in self.requests if q.op == COMBINE]
+
+    def failed_requests(self) -> List[Request]:
+        """Requests the engine gave up on (watchdog timeouts, hung combines)."""
+        return [q for q in self.requests if q.failed]
 
     def ghost_logs(self) -> Dict[int, Any]:
         """node id -> :class:`~repro.core.ghost.GhostLog` (ghost runs only)."""
@@ -195,27 +221,7 @@ class AggregationSystem:
         * Lemma 3.4: every ``pndg`` and ``snt`` is empty.
         * Transport quiescence: no message in transit.
         """
-        if not self.network.is_quiescent():
-            raise AssertionError("network not quiescent: messages in transit")
-        for u, v in self.tree.directed_edges():
-            nu, nv = self.nodes[u], self.nodes[v]
-            if nu.taken[v] != nv.granted[u]:
-                raise AssertionError(
-                    f"Lemma 3.1 violated on edge ({u},{v}): "
-                    f"{u}.taken[{v}]={nu.taken[v]} but {v}.granted[{u}]={nv.granted[u]}"
-                )
-        for u in self.tree.nodes():
-            nu = self.nodes[u]
-            for v in nu.nbrs:
-                if nu.granted[v]:
-                    for w in nu.nbrs:
-                        if w != v and not nu.taken[w]:
-                            raise AssertionError(
-                                f"Lemma 3.2 violated at {u}: granted[{v}] "
-                                f"but taken[{w}] is false"
-                            )
-            if not nu.quiescent_state_ok():
-                raise AssertionError(f"Lemma 3.4 violated at {u}: pndg/snt not empty")
+        check_quiescent_invariants(self.tree, self.nodes, self.network)
 
     def lease_graph_edges(self) -> List[tuple]:
         """Directed edges (u, v) with ``u.granted[v]`` — the lease graph
@@ -226,6 +232,37 @@ class AggregationSystem:
             for v in self.nodes[u].nbrs
             if self.nodes[u].granted[v]
         ]
+
+
+def check_quiescent_invariants(tree: Tree, nodes: Dict[int, LeaseNode], network) -> None:
+    """Assert the paper's quiescent-state lemmas (3.1, 3.2, 3.4) plus
+    transport quiescence for any engine's current state.
+
+    Shared by the sequential and concurrent engines — the lemmas hold in
+    every quiescent state regardless of execution model, and (with the
+    reliability layer) must be restored at drain even after channel faults.
+    """
+    if not network.is_quiescent():
+        raise AssertionError("network not quiescent: messages in transit")
+    for u, v in tree.directed_edges():
+        nu, nv = nodes[u], nodes[v]
+        if nu.taken[v] != nv.granted[u]:
+            raise AssertionError(
+                f"Lemma 3.1 violated on edge ({u},{v}): "
+                f"{u}.taken[{v}]={nu.taken[v]} but {v}.granted[{u}]={nv.granted[u]}"
+            )
+    for u in tree.nodes():
+        nu = nodes[u]
+        for v in nu.nbrs:
+            if nu.granted[v]:
+                for w in nu.nbrs:
+                    if w != v and not nu.taken[w]:
+                        raise AssertionError(
+                            f"Lemma 3.2 violated at {u}: granted[{v}] "
+                            f"but taken[{w}] is false"
+                        )
+        if not nu.quiescent_state_ok():
+            raise AssertionError(f"Lemma 3.4 violated at {u}: pndg/snt not empty")
 
 
 @dataclass(order=True)
@@ -242,6 +279,14 @@ class ConcurrentAggregationSystem:
     Requests are initiated at scheduled virtual times; combines complete
     whenever their probe rounds finish.  Ghost logs default to on because
     this engine exists chiefly for the causal-consistency experiments.
+
+    With ``reliability=ReliabilityConfig(...)`` the transport is a
+    :class:`~repro.sim.reliability.ReliableNetwork` (ACKs, retransmission,
+    in-order release) and, when ``combine_deadline`` is set, every combine
+    gets a watchdog: if it is still incomplete at the deadline it is failed
+    fast with a structured :class:`CombineTimeout` instead of hanging the
+    run.  Fault injection composes through
+    :func:`repro.sim.faults.faulty_concurrent_system`.
     """
 
     def __init__(
@@ -253,21 +298,36 @@ class ConcurrentAggregationSystem:
         seed: int = 0,
         ghost: bool = True,
         trace_enabled: bool = False,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> None:
         self.tree = tree
         self.op = op
         self.sim = Simulator()
         self.trace = TraceLog(enabled=trace_enabled)
         self.stats = MessageStats()
-        self.network = Network(
-            tree,
-            self.sim,
-            receiver=self._receive,
-            latency=latency,
-            seed=seed,
-            stats=self.stats,
-            trace=self.trace,
-        )
+        self.reliability = reliability
+        self.timeouts: List[CombineTimeout] = []
+        if reliability is not None:
+            self.network = ReliableNetwork(
+                tree,
+                self.sim,
+                receiver=self._receive,
+                config=reliability,
+                latency=latency,
+                seed=seed,
+                stats=self.stats,
+                trace=self.trace,
+            )
+        else:
+            self.network = Network(
+                tree,
+                self.sim,
+                receiver=self._receive,
+                latency=latency,
+                seed=seed,
+                stats=self.stats,
+                trace=self.trace,
+            )
         self.nodes: Dict[int, LeaseNode] = {}
         for i in tree.nodes():
             self.nodes[i] = LeaseNode(
@@ -300,10 +360,38 @@ class ConcurrentAggregationSystem:
             node.write(request)
         elif request.op == COMBINE:
             self._outstanding += 1
+            deadline = (
+                self.reliability.combine_deadline if self.reliability is not None else None
+            )
+            state = {"done": False, "timed_out": False}
 
             def done(_req: Request) -> None:
-                self._outstanding -= 1
+                state["done"] = True
+                if not state["timed_out"]:
+                    self._outstanding -= 1
 
+            if deadline is not None:
+                deadline_at = self.sim.now + deadline
+
+                def watchdog(q: Request = request) -> None:
+                    if state["done"] or state["timed_out"]:
+                        return
+                    state["timed_out"] = True
+                    q.failed = True
+                    self._outstanding -= 1
+                    self.timeouts.append(
+                        CombineTimeout(
+                            request=q,
+                            node=q.node,
+                            initiated_at=q.initiated_at,
+                            deadline=deadline_at,
+                        )
+                    )
+                    self.trace.emit(
+                        self.sim.now, "combine_timeout", q.node, deadline=deadline_at
+                    )
+
+                self.sim.schedule(deadline, watchdog, label=f"watchdog node {request.node}")
             if request.scope is None:
                 node.begin_combine(request, done)
             else:
@@ -312,7 +400,14 @@ class ConcurrentAggregationSystem:
             raise ValueError(f"cannot execute op {request.op!r}")
 
     def run(self, schedule: Sequence[ScheduledRequest]) -> ExecutionResult:
-        """Initiate every scheduled request and run the network to drain."""
+        """Initiate every scheduled request and run the network to drain.
+
+        Without a reliability watchdog a combine that never completes is a
+        hard error (it indicates a protocol or channel bug).  With
+        ``reliability.combine_deadline`` set, such combines are failed fast
+        and reported through ``ExecutionResult.timeouts`` /
+        ``Request.failed`` instead.
+        """
         for item in schedule:
             self.sim.schedule_at(item.time, lambda q=item.request: self._initiate(q))
         self.sim.run()
@@ -326,4 +421,11 @@ class ConcurrentAggregationSystem:
             trace=self.trace,
             nodes=self.nodes,
             tree=self.tree,
+            timeouts=list(self.timeouts),
         )
+
+    def check_quiescent_invariants(self) -> None:
+        """Assert the quiescent-state lemmas (see the sequential engine's
+        method).  Meaningful once the simulator has drained — with the
+        reliability layer on, faults must not leave any residue."""
+        check_quiescent_invariants(self.tree, self.nodes, self.network)

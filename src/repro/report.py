@@ -91,6 +91,20 @@ def summarize_run(result: ExecutionResult, title: str = "run summary") -> str:
     for kind in ("probe", "response", "update", "release"):
         if kind in kinds:
             lines.append(f"  {kind:<9}{kinds[kind]}")
+    overhead = result.stats.overhead_by_kind()
+    if overhead:
+        lines.append(
+            f"recovery:  {result.stats.overhead_total} overhead messages "
+            "(excluded from the cost metric above)"
+        )
+        for kind in sorted(overhead):
+            lines.append(f"  {kind:<11}{overhead[kind]}")
+    failed = result.failed_requests()
+    if failed:
+        lines.append(
+            f"FAILED:    {len(failed)} request(s) gave up "
+            f"(nodes {sorted(q.node for q in failed)})"
+        )
     grants = result.trace.count("lease_granted") if len(result.trace) else None
     breaks = result.trace.count("lease_broken") if len(result.trace) else None
     if grants is not None and (grants or breaks):

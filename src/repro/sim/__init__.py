@@ -20,9 +20,16 @@ events for debugging and for the consistency checkers.
 """
 
 from repro.sim.events import Event, EventQueue
-from repro.sim.scheduler import Simulator
+from repro.sim.scheduler import Simulator, Timer
 from repro.sim.channel import FifoChannel, LatencyModel, constant_latency, uniform_latency
 from repro.sim.network import Network
+from repro.sim.reliability import (
+    DeliveryFailure,
+    ReliabilityConfig,
+    ReliabilitySummary,
+    ReliableNetwork,
+    reliable_concurrent_system,
+)
 from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceEvent, TraceLog
 
@@ -30,11 +37,17 @@ __all__ = [
     "Event",
     "EventQueue",
     "Simulator",
+    "Timer",
     "FifoChannel",
     "LatencyModel",
     "constant_latency",
     "uniform_latency",
     "Network",
+    "DeliveryFailure",
+    "ReliabilityConfig",
+    "ReliabilitySummary",
+    "ReliableNetwork",
+    "reliable_concurrent_system",
     "MessageStats",
     "TraceEvent",
     "TraceLog",

@@ -145,25 +145,29 @@ class FaultyNetwork:
             raise ValueError(f"({src}, {dst}) is not a tree edge; cannot send")
         kind = getattr(message, "kind", type(message).__name__.lower())
         self.stats.record(src, dst, kind)
+        self.trace.emit(self.sim.now, "send", src, dst=dst, msg=kind)
         fate = self._classify()
+        if fate != "ok":
+            self.faults.record(self.sim.now, fate, src, dst, kind)
+            self.trace.emit(self.sim.now, "fault", src, dst=dst, msg=kind, fault=fate)
         if fate == "drop":
-            self.faults.record(self.sim.now, "drop", src, dst, kind)
             return
         copies = 2 if fate == "duplicate" else 1
-        if fate == "duplicate":
-            self.faults.record(self.sim.now, "duplicate", src, dst, kind)
-        for _ in range(copies):
+        for copy in range(copies):
+            if copy == 1:
+                # The duplicated copy is an extra delivery the receiver pays
+                # for (see class docstring) — count it like any other send.
+                self.stats.record(src, dst, kind)
             delay = self._latency(src, dst, self._lat_rng[edge])
             t = self.sim.now + delay
-            if fate == "reorder":
-                self.faults.record(self.sim.now, "reorder", src, dst, kind)
-            else:
+            if fate != "reorder":
                 t = max(t, self._last_delivery[edge])
                 self._last_delivery[edge] = t
             self._in_flight += 1
 
-            def deliver(m=message, s=src, d=dst) -> None:
+            def deliver(m=message, s=src, d=dst, k=kind) -> None:
                 self._in_flight -= 1
+                self.trace.emit(self.sim.now, "recv", d, src=s, msg=k)
                 self._receiver(s, d, m)
 
             self.sim.schedule_at(t, deliver, label=f"faulty {src}->{dst}")
@@ -183,14 +187,21 @@ def faulty_concurrent_system(
     latency: Optional[LatencyModel] = None,
     seed: int = 0,
     ghost: bool = True,
+    reliability=None,
 ):
     """A :class:`~repro.core.engine.ConcurrentAggregationSystem` whose
-    transport is a :class:`FaultyNetwork`.
+    transport is lossy.
 
-    Returns the system; its ``network.faults`` holds the injected-fault
-    log.  Combines that lose their probe or response messages never
-    complete — callers should run with ``allow_incomplete`` handling (see
-    :func:`run_with_faults`).
+    With ``reliability=None`` (the raw fault-injection mode) the transport
+    is a bare :class:`FaultyNetwork`: combines that lose their probe or
+    response messages never complete — run with :func:`run_with_faults`,
+    which tolerates and marks the hung requests.
+
+    With ``reliability=ReliabilityConfig(...)`` the lossy wire is wrapped in
+    a :class:`~repro.sim.reliability.ReliableNetwork`, restoring the paper's
+    reliable-FIFO contract end-to-end; the system can then be driven with
+    the ordinary :meth:`~repro.core.engine.ConcurrentAggregationSystem.run`.
+    Either way ``system.network.faults`` holds the injected-fault log.
     """
     from repro.core.engine import ConcurrentAggregationSystem
     from repro.core.rww import RWWPolicy
@@ -204,33 +215,54 @@ def faulty_concurrent_system(
         seed=seed,
         ghost=ghost,
     )
-    # Swap the transport for the faulty one, re-binding the stats object so
+    # Swap the transport for the lossy one, re-binding the stats object so
     # system.stats keeps working.
-    system.network = FaultyNetwork(
-        tree,
-        system.sim,
-        receiver=system._receive,
-        plan=plan,
-        latency=latency,
-        seed=seed + 1,
-        stats=system.stats,
-        trace=system.trace,
-    )
+    if reliability is None:
+        system.network = FaultyNetwork(
+            tree,
+            system.sim,
+            receiver=system._receive,
+            plan=plan,
+            latency=latency,
+            seed=seed + 1,
+            stats=system.stats,
+            trace=system.trace,
+        )
+    else:
+        from repro.sim.reliability import ReliableNetwork
+
+        system.reliability = reliability
+        system.network = ReliableNetwork(
+            tree,
+            system.sim,
+            receiver=system._receive,
+            config=reliability,
+            plan=plan,
+            latency=latency,
+            seed=seed + 1,
+            stats=system.stats,
+            trace=system.trace,
+        )
     return system
 
 
 def run_with_faults(system, schedule):
     """Run a faulty system to network drain, tolerating hung combines.
 
-    Returns ``(result, hung)`` where ``hung`` is the number of combines
-    that never completed (their ``retval`` stays ``None``).
+    Returns ``(result, hung)`` where ``hung`` is the list of combine
+    requests that never completed.  Each is explicitly marked
+    ``q.failed = True`` so a hung combine is never mistaken for one that
+    legitimately returned ``None`` (they also keep ``q.index == -1``).
     """
     for item in schedule:
         system.sim.schedule_at(item.time, lambda q=item.request: system._initiate(q))
     system.sim.run()
-    hung = system._outstanding
+    from repro.core.engine import COMBINE, ExecutionResult
+
+    hung = [q for q in system.executed if q.op == COMBINE and q.index < 0 and not q.failed]
+    for q in hung:
+        q.failed = True
     system._outstanding = 0
-    from repro.core.engine import ExecutionResult
 
     result = ExecutionResult(
         requests=list(system.executed),

@@ -109,3 +109,60 @@ class Simulator:
         """True when no events are pending — the paper's quiescent state
         (no pending request, no message in transit)."""
         return len(self._queue) == 0
+
+
+class Timer:
+    """A cancellable, restartable one-shot timer bound to a :class:`Simulator`.
+
+    Wraps the raw :class:`~repro.sim.events.Event` cancellation machinery in
+    the shape protocol code wants: ``start`` arms (or re-arms) the timer,
+    ``cancel`` disarms it, and a timer that has fired or been cancelled is
+    simply inactive.  Restarting an active timer cancels the pending firing
+    first, so at most one firing is ever outstanding.  Used by the
+    reliable-delivery layer (:mod:`repro.sim.reliability`) for per-segment
+    retransmission timeouts.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> t = Timer(sim)
+    >>> t.start(5.0, lambda: fired.append("late"))
+    >>> t.start(1.0, lambda: fired.append("early"))  # re-arm replaces
+    >>> sim.run()
+    >>> fired
+    ['early']
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._event: Optional["Event"] = None
+
+    @property
+    def active(self) -> bool:
+        """True while a firing is scheduled and not yet executed/cancelled."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Virtual time of the pending firing, or ``None`` when inactive."""
+        return self._event.time if self.active else None
+
+    def start(self, delay: float, action: Callable[[], None], label: str = "timer") -> None:
+        """Arm the timer ``delay`` from now, replacing any pending firing."""
+        self.cancel()
+        event_box = {}
+
+        def fire() -> None:
+            if self._event is event_box.get("ev"):
+                self._event = None
+            action()
+
+        event_box["ev"] = self.sim.schedule(delay, fire, label=label)
+        self._event = event_box["ev"]
+
+    def cancel(self) -> None:
+        """Disarm the timer; a no-op when inactive."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

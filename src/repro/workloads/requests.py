@@ -48,6 +48,11 @@ class Request:
         ``None`` for the paper's global combine; a neighbor id for a
         *scoped* combine (extension): aggregate only over
         ``subtree(scope, node)``, the subtree hanging off that neighbor.
+    failed:
+        True when the engine gave up on this request — a combine that hung
+        on a lossy channel (:func:`repro.sim.faults.run_with_faults`) or
+        exceeded its deadline (the reliability watchdog).  Distinguishes
+        "never completed" from a legitimate ``retval`` of ``None``.
     """
 
     node: int
@@ -58,6 +63,7 @@ class Request:
     initiated_at: float = 0.0
     completed_at: float = 0.0
     scope: Optional[int] = None
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.op not in _VALID_OPS:

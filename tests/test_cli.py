@@ -118,3 +118,13 @@ class TestExtendedCommands:
                      "--length", "20"]) == 0
         out = capsys.readouterr().out
         assert "relaxation tight" in out
+
+    def test_chaos(self, capsys):
+        assert main(["chaos", "--topology", "random", "--nodes", "6",
+                     "--length", "15", "--max-rate-pct", "10",
+                     "--step-pct", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "reliable layer held" in out
+        # every swept rate kept goodput identical to the fault-free run
+        assert "NO" not in out

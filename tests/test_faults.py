@@ -41,6 +41,25 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan(drop_prob=0.6, duplicate_prob=0.6)
 
+    def test_prob_sum_boundary_exactly_one_is_legal(self):
+        plan = FaultPlan(drop_prob=0.5, duplicate_prob=0.3, reorder_prob=0.2)
+        assert not plan.is_faultless
+        # ...and every message draws *some* fault (nothing passes clean).
+        from repro.sim.scheduler import Simulator
+
+        sim = Simulator()
+        net = FaultyNetwork(
+            path_tree(2), sim, receiver=lambda *a: None, plan=plan,
+            latency=constant_latency(1.0),
+        )
+        for _ in range(50):
+            net.send(0, 1, "x")
+        assert net.faults.count() == 50
+
+    def test_prob_sum_just_over_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_prob=0.5, duplicate_prob=0.3, reorder_prob=0.2001)
+
     def test_faultless_flag(self):
         assert FaultPlan().is_faultless
         assert not FaultPlan(drop_prob=0.1).is_faultless
@@ -58,7 +77,7 @@ class TestFaultlessEquivalence:
             tree, FaultPlan(), latency=constant_latency(1.0), ghost=False
         )
         result, hung = run_with_faults(system, serial_schedule(wl))
-        assert hung == 0
+        assert hung == []
         assert result.total_messages == ref.total_messages
         assert result.combine_results() == ref.combine_results()
         assert system.network.faults.count() == 0
@@ -74,8 +93,10 @@ class TestDrops:
         )
         schedule = [ScheduledRequest(time=0.0, request=combine(0))]
         result, hung = run_with_faults(system, schedule)
-        assert hung == 1
+        assert len(hung) == 1
+        assert hung[0] is result.requests[0]
         assert result.requests[0].retval is None
+        assert result.requests[0].failed  # explicitly marked, not just retval=None
         assert system.network.faults.count("drop") >= 1
 
     def test_dropped_update_causes_stale_reads(self):
@@ -95,7 +116,7 @@ class TestDrops:
         system.sim.schedule_at(50.0, lambda: setattr(system.network, "plan", FaultPlan(drop_prob=1.0)))
         system.sim.schedule_at(150.0, lambda: setattr(system.network, "plan", FaultPlan()))
         result, hung = run_with_faults(system, sched)
-        assert hung == 0
+        assert hung == []
         violations = check_strict_consistency(result.requests, tree.n)
         assert violations, "stale read went undetected"
         assert violations[0].expected == 5.0
@@ -141,7 +162,7 @@ class TestDuplicates:
         )
         system.sim.schedule_at(150.0, lambda: setattr(system.network, "plan", FaultPlan()))
         result, hung = run_with_faults(system, serial_schedule(wl))
-        assert hung == 0
+        assert hung == []
         # Answers remain correct...
         assert check_strict_consistency(result.requests, tree.n) == []
         # ...but the lease was torn down after a single write (a release
@@ -168,7 +189,7 @@ class TestReordering:
             ]
             violations = check_strict_consistency(completed, tree.n)
             # Either clean, or the damage is visible (hung/violation).
-            assert hung >= 0 and isinstance(violations, list)
+            assert isinstance(hung, list) and isinstance(violations, list)
 
 
 class TestFaultyNetworkUnit:
@@ -197,6 +218,91 @@ class TestFaultyNetworkUnit:
         sim.run()
         assert got == ["msg", "msg"]
         assert net.faults.count("duplicate") == 1
+        # Regression: duplicates count as extra deliveries in the stats,
+        # matching the class docstring (one send -> two recorded messages).
+        assert net.stats.total == 2
+        assert net.stats.count(0, 1, "str") == 2
+
+    def test_reorder_skips_fifo_clamp_without_advancing_it(self):
+        """A reordered message must not drag ``_last_delivery`` forward:
+        later messages on the edge keep their own (earlier) delivery times
+        instead of being clamped behind the straggler."""
+        from repro.sim.scheduler import Simulator
+
+        delays = [10.0, 1.0]
+
+        def scripted_latency(_s, _d, _rng):
+            return delays.pop(0) if delays else 1.0
+
+        sim = Simulator()
+        got = []
+        net = FaultyNetwork(
+            path_tree(2),
+            sim,
+            receiver=lambda s, d, m: got.append((sim.now, m)),
+            plan=FaultPlan(reorder_prob=1.0),
+            latency=scripted_latency,
+        )
+        net.send(0, 1, "slow")   # reordered: delivery at t=10, clamp untouched
+        net.send(0, 1, "fast")   # reordered: delivery at t=1, overtakes
+        sim.run()
+        assert got == [(1.0, "fast"), (10.0, "slow")]
+
+    def test_normal_messages_still_clamped_behind_earlier_ones(self):
+        """Without the reorder fault the FIFO clamp holds: a later message
+        drawn with a shorter latency is delayed to the channel's last
+        delivery time."""
+        from repro.sim.scheduler import Simulator
+
+        delays = [10.0, 1.0]
+
+        def scripted_latency(_s, _d, _rng):
+            return delays.pop(0) if delays else 1.0
+
+        sim = Simulator()
+        got = []
+        net = FaultyNetwork(
+            path_tree(2),
+            sim,
+            receiver=lambda s, d, m: got.append((sim.now, m)),
+            plan=FaultPlan(),
+            latency=scripted_latency,
+        )
+        net.send(0, 1, "first")
+        net.send(0, 1, "second")
+        sim.run()
+        assert got == [(10.0, "first"), (10.0, "second")]
+
+    def test_faulty_network_emits_trace_events(self):
+        """FaultyNetwork now shares the Network trace vocabulary: send/recv
+        events plus a ``fault`` event per injected fault."""
+        from repro.sim.scheduler import Simulator
+        from repro.sim.trace import TraceLog
+
+        sim = Simulator()
+        trace = TraceLog(enabled=True)
+        net = FaultyNetwork(
+            path_tree(2),
+            sim,
+            receiver=lambda *a: None,
+            plan=FaultPlan(drop_prob=1.0),
+            latency=constant_latency(1.0),
+            trace=trace,
+        )
+        net.send(0, 1, "msg")
+        sim.run()
+        kinds = [ev.kind for ev in trace]
+        assert "send" in kinds and "fault" in kinds
+        assert "recv" not in kinds  # dropped, so never received
+        fault_ev = trace.events(kind="fault")[0]
+        assert fault_ev.detail["fault"] == "drop"
+        assert fault_ev.detail["dst"] == 1
+
+        # And a clean delivery produces the send/recv pair, like Network.
+        net.plan = FaultPlan()
+        net.send(0, 1, "msg2")
+        sim.run()
+        assert trace.events(kind="recv")[0].detail["src"] == 0
 
     def test_drop_delivers_nothing(self):
         from repro.sim.scheduler import Simulator

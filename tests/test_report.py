@@ -84,6 +84,32 @@ class TestSummarize:
         text = summarize_run(system.result())
         assert "requests:  0" in text
 
+    def test_no_recovery_section_on_clean_runs(self):
+        text = summarize_run(self._result())
+        assert "recovery" not in text
+        assert "FAILED" not in text
+
+    def test_recovery_overhead_and_failures_reported(self):
+        from repro import ReliabilityConfig, ScheduledRequest
+        from repro.sim.channel import constant_latency
+        from repro.sim.faults import FaultPlan
+        from repro.sim.reliability import reliable_concurrent_system
+
+        system = reliable_concurrent_system(
+            path_tree(3),
+            FaultPlan(drop_prob=1.0),  # permanent blackout -> give-up + watchdog
+            config=ReliabilityConfig(
+                base_timeout=1.0, max_timeout=2.0, max_retries=2,
+                combine_deadline=50.0,
+            ),
+            latency=constant_latency(1.0),
+        )
+        result = system.run([ScheduledRequest(time=0.0, request=combine(0))])
+        text = summarize_run(result)
+        assert "recovery" in text
+        assert "retransmit" in text
+        assert "FAILED:    1 request(s)" in text
+
 
 class TestBusiestEdges:
     def test_ranking(self):

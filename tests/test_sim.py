@@ -399,3 +399,83 @@ class TestNetwork:
 
         assert run(7) == run(7)
         assert run(7) != run(8)
+
+
+class TestTimer:
+    """The cancellable/restartable timer used by retransmission logic."""
+
+    def test_fires_once(self):
+        from repro.sim import Timer
+
+        sim = Simulator()
+        fired = []
+        t = Timer(sim)
+        t.start(2.0, lambda: fired.append(sim.now))
+        assert t.active and t.deadline == 2.0
+        sim.run()
+        assert fired == [2.0]
+        assert not t.active and t.deadline is None
+
+    def test_cancel_prevents_firing(self):
+        from repro.sim import Timer
+
+        sim = Simulator()
+        fired = []
+        t = Timer(sim)
+        t.start(2.0, lambda: fired.append("boom"))
+        t.cancel()
+        assert not t.active
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent_and_safe_when_inactive(self):
+        from repro.sim import Timer
+
+        sim = Simulator()
+        t = Timer(sim)
+        t.cancel()  # never started
+        t.start(1.0, lambda: None)
+        t.cancel()
+        t.cancel()  # double cancel
+        sim.run()
+        assert not t.active
+
+    def test_restart_replaces_pending_firing(self):
+        from repro.sim import Timer
+
+        sim = Simulator()
+        fired = []
+        t = Timer(sim)
+        t.start(5.0, lambda: fired.append("late"))
+        t.start(1.0, lambda: fired.append("early"))  # re-arm cancels the first
+        sim.run()
+        assert fired == ["early"]
+
+    def test_restart_from_within_action(self):
+        """Retransmission pattern: the action re-arms the same timer with
+        backoff; each firing schedules exactly one successor."""
+        from repro.sim import Timer
+
+        sim = Simulator()
+        fired = []
+        t = Timer(sim)
+        delays = iter([2.0, 4.0, 8.0])
+
+        def fire():
+            fired.append(sim.now)
+            nxt = next(delays, None)
+            if nxt is not None:
+                t.start(nxt, fire)
+
+        t.start(1.0, fire)
+        sim.run()
+        assert fired == [1.0, 3.0, 7.0, 15.0]
+
+    def test_cancelled_timer_does_not_block_quiescence(self):
+        from repro.sim import Timer
+
+        sim = Simulator()
+        t = Timer(sim)
+        t.start(100.0, lambda: None)
+        t.cancel()
+        assert sim.is_quiescent()
