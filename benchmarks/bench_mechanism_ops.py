@@ -91,6 +91,51 @@ def test_warm_scoped_combine(benchmark):
     assert extra == 0
 
 
+def _golden_scenarios():
+    """The golden workloads of ``tests/test_golden.py``, run under RWW."""
+    from repro import path_tree, star_tree, two_node_tree
+    from repro.workloads.adversarial import adv_sequence
+
+    return {
+        "pair_adv": (two_node_tree(), adv_sequence(1, 2, rounds=10)),
+        "path6_mixed": (path_tree(6), uniform_workload(6, 60, read_ratio=0.5, seed=42)),
+        "binary15_readheavy": (binary_tree(3),
+                               uniform_workload(15, 60, read_ratio=0.8, seed=7)),
+        "star8_mixed": (star_tree(8), uniform_workload(8, 60, read_ratio=0.5, seed=3)),
+    }
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_golden_messages_json(benchmark, emit_json):
+    """BENCH_messages.json — per-topology messages/request for RWW on the
+    golden workloads, with the telemetry histograms alongside (the
+    machine-readable artifact CI archives)."""
+    from repro.report import summarize_run_data
+
+    def run_all():
+        out = {}
+        for name, (tree, wl) in _golden_scenarios().items():
+            system = AggregationSystem(tree, trace_enabled=True)
+            result = system.run(copy_sequence(wl))
+            data = summarize_run_data(result, title=name)
+            out[name] = {
+                "topology": name,
+                "nodes": tree.n,
+                "requests": data["requests"]["total"],
+                "messages": data["messages"]["total"],
+                "messages_per_request": round(data["messages"]["per_request"], 4),
+                "by_kind": data["messages"]["by_kind"],
+                "histograms": data["histograms"],
+            }
+        return out
+
+    scenarios = benchmark(run_all)
+    assert all(s["messages"] > 0 for s in scenarios.values())
+    emit_json("BENCH_messages", {"benchmark": "BENCH_messages",
+                                 "policy": "rww",
+                                 "scenarios": scenarios})
+
+
 @pytest.mark.benchmark(group="offline")
 def test_projection_throughput(benchmark):
     wl = uniform_workload(TREE.n, 500, read_ratio=0.5, seed=1)

@@ -89,7 +89,7 @@ def run_sweep():
 
 
 @pytest.mark.benchmark(group="reliability")
-def test_reliability_overhead_sweep(benchmark, emit):
+def test_reliability_overhead_sweep(benchmark, emit, emit_json):
     benchmark(lambda: run_one(0.1, 0))
     rows = run_sweep()
     assert all(r[8] == 0 for r in rows), "combine failed/hung under reliability"
@@ -108,3 +108,13 @@ def test_reliability_overhead_sweep(benchmark, emit):
         ),
     )
     emit("reliability_sweep", text)
+    emit_json("reliability_sweep", {
+        "benchmark": "reliability_sweep",
+        "rows": [
+            {"fault_rate": r[0], "seed": r[1], "faults": r[2], "goodput": r[3],
+             "goodput_matches_ref": r[4] == "yes", "retransmits": r[5],
+             "acks": r[6], "dups": r[7], "failed": r[8],
+             "strict_violations": r[9], "causal_violations": r[10]}
+            for r in rows
+        ],
+    })

@@ -62,7 +62,7 @@ def test_scalability_run(benchmark, n):
 
 
 @pytest.mark.benchmark(group="scale")
-def test_scalability_table(benchmark, emit):
+def test_scalability_table(benchmark, emit, emit_json):
     rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
     # Sanity: message cost grows with n for every family.
     for kind in ("path", "star", "binary"):
@@ -74,3 +74,13 @@ def test_scalability_table(benchmark, emit):
         title=f"SCALE — RWW message and throughput scaling ({LENGTH} requests, r=0.5):",
     )
     emit("scalability", text)
+    emit_json("scalability", {
+        "benchmark": "scalability",
+        "length": LENGTH,
+        "rows": [
+            {"topology": r[0], "n": r[1], "messages": r[2],
+             "messages_per_request": round(r[3], 4),
+             "requests_per_sec": round(r[4], 1)}
+            for r in rows
+        ],
+    })

@@ -3,12 +3,16 @@
 Every benchmark regenerates one paper artifact (figure/table/theorem) and
 emits the paper-shaped table via :func:`emit`: printed to stdout (visible
 with ``pytest -s`` and in benchmark logs) and persisted under
-``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.  Machine-readable
+companions go through :func:`emit_json` (``results/<name>.json``,
+deterministic key order) so CI can archive and diff them.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any
 
 import pytest
 
@@ -22,5 +26,18 @@ def emit():
     def _emit(name: str, text: str) -> None:
         print(f"\n{text}\n")
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_json():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, data: Any) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"\n[json] wrote {path}")
+        return path
 
     return _emit

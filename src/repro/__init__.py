@@ -26,6 +26,8 @@ Package layout
 ``repro.workloads``    request model and synthetic/adversarial generators
 ``repro.analysis``     Figure-4 state machine, Figure-5 LP, ratio harness
 ``repro.baselines``    Astrolabe / MDS-2 / static-k / time-lease baselines
+``repro.obs``          telemetry: metrics registry, request spans, JSONL
+                       trace export/replay, live lemma monitors
 """
 
 from repro.core.engine import (
@@ -62,8 +64,14 @@ from repro.tree import (
     two_node_tree,
 )
 from repro.workloads import Request, combine, scoped_combine, write
+from repro.obs import (
+    MetricsRegistry,
+    MonitorViolation,
+    RequestSpan,
+    attach_standard_monitors,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggregationSystem",
@@ -105,5 +113,9 @@ __all__ = [
     "combine",
     "scoped_combine",
     "write",
+    "MetricsRegistry",
+    "MonitorViolation",
+    "RequestSpan",
+    "attach_standard_monitors",
     "__version__",
 ]

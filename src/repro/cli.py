@@ -9,14 +9,17 @@ Commands
 ``adversary``  run the Theorem-3 adversary against an (a, b)-algorithm
 ``baselines``  read-ratio sweep: RWW vs the static baselines
 ``chaos``      fault-rate sweep under the reliable-delivery layer
+``trace``      record / summarize / diff / top-edges on JSONL event traces
 
-Workload traces can be saved/loaded as JSONL (``ratio --save/--load``), so
+Workload traces can be saved/loaded as JSONL (``ratio --save/--load``), and
+``trace record`` exports the full telemetry event stream the same way, so
 an experiment run on one machine replays bit-identically on another.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -80,12 +83,34 @@ def make_policy_factory(spec: str):
     raise SystemExit(f"unknown policy {spec!r}")
 
 
+# ----------------------------------------------------------------- helpers
+def _warn_violations(monitors) -> int:
+    """Print one warning line per monitor violation; return the count."""
+    from repro.obs.monitors import all_violations
+
+    violations = all_violations(monitors)
+    for v in violations:
+        print(f"WARNING: monitor {v.monitor} @ t={v.time}: {v.message}",
+              file=sys.stderr)
+    return len(violations)
+
+
+def _export_trace(trace, path: str) -> None:
+    from repro.obs.export import export_jsonl
+
+    n = export_jsonl(trace, path)
+    print(f"exported {n} trace events to {path}", file=sys.stderr)
+
+
 # ---------------------------------------------------------------- commands
 def cmd_demo(args) -> int:
+    from repro.obs.monitors import attach_standard_monitors
+    from repro.report import busiest_edges, summarize_run_data
     from repro.workloads.requests import combine, write
 
     tree = make_tree(args.topology, args.nodes, args.seed)
-    system = AggregationSystem(tree)
+    system = AggregationSystem(tree, trace_enabled=True)
+    monitors = attach_standard_monitors(system.trace, strict=False)
     import random as _random
 
     rng = _random.Random(args.seed)
@@ -93,12 +118,25 @@ def cmd_demo(args) -> int:
         system.execute(write(node, float(rng.randrange(100))))
     r1 = system.execute(combine(0))
     r2 = system.execute(combine(0))
-    print(f"tree: {args.topology} with {tree.n} nodes")
-    print(f"global aggregate: {r1.retval}")
-    print(f"first combine + writes cost {system.stats.total} messages; "
-          f"repeat combine cost 0 extra" if r2.retval == r1.retval else "")
-    print(f"message breakdown: {system.stats.by_kind()}")
-    print(f"leases installed: {sorted(system.lease_graph_edges())}")
+    result = system.result()
+    if args.json:
+        data = summarize_run_data(result, title=f"demo {args.topology}/{tree.n}")
+        data["monitors"] = {"violations": _warn_violations(monitors)}
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"tree: {args.topology} with {tree.n} nodes")
+        print(f"global aggregate: {r1.retval}")
+        print(f"first combine + writes cost {system.stats.total} messages; "
+              f"repeat combine cost 0 extra" if r2.retval == r1.retval else "")
+        print(f"message breakdown: {system.stats.by_kind()}")
+        print(f"leases installed: {sorted(system.lease_graph_edges())}")
+        hottest = [(e, n) for e, n in busiest_edges(result, top=3) if n]
+        if hottest:
+            print("hottest edges: "
+                  + ", ".join(f"{u}-{v} ({n} msgs)" for (u, v), n in hottest))
+        _warn_violations(monitors)
+    if args.trace_out:
+        _export_trace(system.trace, args.trace_out)
     return 0
 
 
@@ -290,7 +328,12 @@ def cmd_chaos(args) -> int:
         max_retries=args.max_retries, combine_deadline=args.gap,
     )
     rows = []
-    for rate in (r / 100 for r in range(0, args.max_rate_pct + 1, args.step_pct)):
+    monitor_violations = 0
+    rates = [r / 100 for r in range(0, args.max_rate_pct + 1, args.step_pct)]
+    for rate in rates:
+        # When exporting a trace, record the highest-rate (most eventful) run
+        # and attach the lemma monitors to it in warn-only mode.
+        tracing = args.trace_out is not None and rate == rates[-1]
         system = reliable_concurrent_system(
             tree,
             FaultPlan(drop_prob=rate, duplicate_prob=rate / 2, reorder_prob=rate,
@@ -298,12 +341,20 @@ def cmd_chaos(args) -> int:
             config=config,
             latency=constant_latency(1.0),
             seed=args.seed,
+            trace_enabled=tracing,
         )
+        if tracing:
+            from repro.obs.monitors import attach_standard_monitors
+
+            monitors = attach_standard_monitors(system.trace, strict=False)
         result = system.run([
             ScheduledRequest(time=sr.time, request=sr.request.copy_unexecuted())
             for sr in schedule
         ])
         system.check_quiescent_invariants()
+        if tracing:
+            monitor_violations = _warn_violations(monitors)
+            _export_trace(system.trace, args.trace_out)
         over = result.stats.overhead_by_kind()
         strict = check_strict_consistency(result.requests, tree.n)
         rows.append((
@@ -327,7 +378,111 @@ def cmd_chaos(args) -> int:
     bad = [r for r in rows if r[3] == "NO" or r[7] or r[8] != "ok"]
     print("\nreliable layer held: goodput fault-free-identical, zero failures"
           if not bad else f"\n{len(bad)} rate(s) showed degradation")
-    return 0 if not bad else 1
+    return 0 if not bad and not monitor_violations else 1
+
+
+def cmd_trace_record(args) -> int:
+    """Run a deterministic workload with full telemetry and export the trace.
+
+    The run is seeded end-to-end, so recording the same arguments twice
+    yields byte-identical JSONL files — the property the CI golden-trace
+    job checks with ``trace diff``.
+    """
+    from repro.core.engine import ScheduledRequest
+    from repro.obs.monitors import attach_standard_monitors
+    from repro.report import summarize_run_data
+    from repro.sim.channel import constant_latency
+    from repro.sim.faults import FaultPlan
+    from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
+
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    wl = uniform_workload(tree.n, args.length, read_ratio=args.read_ratio,
+                          seed=args.seed)
+    if args.mode == "seq":
+        system = AggregationSystem(tree, trace_enabled=True)
+        monitors = attach_standard_monitors(system.trace, strict=False)
+        result = system.run(copy_sequence(wl))
+    else:
+        rate = args.fault_pct / 100
+        system = reliable_concurrent_system(
+            tree,
+            FaultPlan(drop_prob=rate, duplicate_prob=rate / 2, reorder_prob=rate,
+                      seed=args.seed + 5),
+            config=ReliabilityConfig(base_timeout=6.0, backoff=1.5,
+                                     max_timeout=20.0, combine_deadline=args.gap),
+            latency=constant_latency(1.0),
+            seed=args.seed,
+            trace_enabled=True,
+        )
+        monitors = attach_standard_monitors(system.trace, strict=False)
+        result = system.run([
+            ScheduledRequest(time=args.gap * i, request=q)
+            for i, q in enumerate(copy_sequence(wl))
+        ])
+    violations = _warn_violations(monitors)
+    _export_trace(system.trace, args.out)
+    if args.summary_json:
+        data = summarize_run_data(
+            result, title=f"trace record {args.mode} {args.topology}/{tree.n}")
+        data["monitors"] = {"violations": violations}
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote run summary to {args.summary_json}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+def cmd_trace_summarize(args) -> int:
+    from repro.obs.export import import_jsonl, trace_summary
+
+    trace = import_jsonl(args.trace_file)
+    summary = trace_summary(trace)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    t0, t1 = summary["time_window"]
+    print(f"{args.trace_file}: {summary['events']} events, "
+          f"{summary['nodes']} nodes, t=[{t0}, {t1}]")
+    print(f"logical messages: {summary['logical_messages']}")
+    for kind, n in sorted(summary["by_kind"].items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {kind:<20}{n}")
+    if summary["spans"]:
+        print(f"spans: {summary['spans']}  failed: {summary['failed_spans']}")
+    if summary["top_edges"]:
+        print("top edges: "
+              + ", ".join(f"{u}-{v} ({n})" for (u, v), n in summary["top_edges"]))
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    from repro.obs.export import import_jsonl, trace_diff
+
+    a = import_jsonl(args.trace_a)
+    b = import_jsonl(args.trace_b)
+    diffs = trace_diff(a, b, limit=args.limit)
+    if not diffs:
+        print(f"traces identical ({len(a)} events)")
+        return 0
+    print(f"traces differ ({len(a)} vs {len(b)} events):")
+    for line in diffs:
+        print(f"  {line}")
+    return 1
+
+
+def cmd_trace_top_edges(args) -> int:
+    from repro.obs.export import import_jsonl, top_edges
+
+    trace = import_jsonl(args.trace_file)
+    ranked = top_edges(trace, top=args.top)
+    if not ranked:
+        print("no logical message traffic in trace")
+        return 0
+    print(format_table(
+        ["edge", "messages"],
+        [(f"{u}-{v}", n) for (u, v), n in ranked],
+        title=f"busiest undirected edges in {args.trace_file}:",
+    ))
+    return 0
 
 
 # ------------------------------------------------------------------ parser
@@ -346,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("demo", help="run a small aggregation demo")
     add_common(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable run summary (JSON)")
+    p.add_argument("--trace-out", help="export the telemetry trace as JSONL")
     p.set_defaults(fn=cmd_demo)
 
     p = sub.add_parser("lp", help="solve the Figure-5 LP")
@@ -389,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep drop/reorder rates from 0%% to this (dup at half)")
     p.add_argument("--step-pct", type=int, default=5)
     p.add_argument("--max-retries", type=int, default=25)
+    p.add_argument("--trace-out",
+                   help="export the highest-rate run's telemetry trace as JSONL "
+                        "(lemma monitors attached; violations warn and fail)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("exact-grid", help="exact ratios for the (a, b) grid")
@@ -401,6 +562,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=25)
     p.add_argument("--read-ratio", type=float, default=0.5)
     p.set_defaults(fn=cmd_gap)
+
+    p = sub.add_parser("trace", help="record / inspect JSONL telemetry traces")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = tsub.add_parser("record",
+                         help="run a seeded workload, export its trace")
+    add_common(tp)
+    tp.add_argument("--length", type=int, default=60)
+    tp.add_argument("--read-ratio", type=float, default=0.5)
+    tp.add_argument("--mode", default="seq", choices=["seq", "chaos"],
+                    help="sequential engine or concurrent+lossy with the "
+                         "reliable-delivery layer")
+    tp.add_argument("--fault-pct", type=float, default=10.0,
+                    help="chaos mode: drop/reorder rate in percent (dup at half)")
+    tp.add_argument("--gap", type=float, default=600.0,
+                    help="chaos mode: virtual-time gap between requests")
+    tp.add_argument("--out", required=True, help="JSONL output path")
+    tp.add_argument("--summary-json",
+                    help="also write the machine-readable run summary here")
+    tp.set_defaults(fn=cmd_trace_record)
+
+    tp = tsub.add_parser("summarize", help="digest a JSONL trace")
+    tp.add_argument("trace_file")
+    tp.add_argument("--json", action="store_true")
+    tp.set_defaults(fn=cmd_trace_summarize)
+
+    tp = tsub.add_parser("diff", help="compare two JSONL traces event by event")
+    tp.add_argument("trace_a")
+    tp.add_argument("trace_b")
+    tp.add_argument("--limit", type=int, default=20,
+                    help="max difference lines to print")
+    tp.set_defaults(fn=cmd_trace_diff)
+
+    tp = tsub.add_parser("top-edges", help="busiest undirected edges in a trace")
+    tp.add_argument("trace_file")
+    tp.add_argument("--top", type=int, default=5)
+    tp.set_defaults(fn=cmd_trace_top_edges)
 
     return parser
 

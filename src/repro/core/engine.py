@@ -13,6 +13,13 @@ Both engines run identical :class:`~repro.core.mechanism.LeaseNode` code and
 produce an :class:`ExecutionResult` with the executed requests (retvals and
 indices filled in), full per-edge/per-type message statistics, traces, and —
 when ghosts are enabled — the Section-5 logs for consistency checking.
+
+Telemetry (:mod:`repro.obs`) is threaded through both engines: every run
+fills a :class:`~repro.obs.metrics.MetricsRegistry` (request counters,
+messages-per-request and combine-latency histograms) and records one
+:class:`~repro.obs.spans.RequestSpan` per request; with tracing enabled the
+engines additionally emit typed ``combine_begin``/``span``/``quiescent``
+events — the feed the live lemma monitors and the JSONL exporter run on.
 """
 
 from __future__ import annotations
@@ -23,6 +30,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.core.mechanism import LeaseNode
 from repro.core.policy import LeasePolicy
 from repro.core.rww import RWWPolicy
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsBridge, MetricsRegistry
+from repro.obs.monitors import expected_probe_edges
+from repro.obs.spans import RequestSpan, probe_fanout_from_events
 from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
 from repro.sim.channel import LatencyModel
@@ -36,6 +46,25 @@ from repro.workloads.requests import COMBINE, WRITE, Request
 
 #: Builds a fresh policy instance for one node.
 PolicyFactory = Callable[[], LeasePolicy]
+
+#: ``node`` value of engine-level trace events (``quiescent``) that do not
+#: belong to any single node.
+SYSTEM_NODE = -1
+
+
+def _observe_span(metrics: MetricsRegistry, trace: TraceLog, span: RequestSpan) -> None:
+    """Record one completed span into the registry and the trace."""
+    metrics.counter("requests_total", node=span.node, op=span.op).inc()
+    metrics.histogram("messages_per_request", op=span.op).observe(span.messages)
+    if span.op == COMBINE:
+        metrics.histogram("combine_latency", buckets=LATENCY_BUCKETS).observe(
+            span.duration
+        )
+        if span.failure is not None:
+            metrics.counter("request_failures_total", node=span.node, kind=span.failure).inc()
+    detail = span.to_dict()
+    detail.pop("node", None)  # the event's own node field carries it
+    trace.emit(span.end, "span", span.node, **detail)
 
 
 @dataclass(frozen=True)
@@ -75,6 +104,11 @@ class ExecutionResult:
     timeouts:
         :class:`CombineTimeout` outcomes recorded by the reliability
         watchdog (empty unless a deadline fired).
+    spans:
+        One :class:`~repro.obs.spans.RequestSpan` per completed (or
+        failed-fast) request, in completion order.
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsRegistry`.
     """
 
     requests: List[Request]
@@ -83,6 +117,8 @@ class ExecutionResult:
     nodes: Dict[int, LeaseNode]
     tree: Tree
     timeouts: List["CombineTimeout"] = field(default_factory=list)
+    spans: List[RequestSpan] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def total_messages(self) -> int:
@@ -121,7 +157,13 @@ class AggregationSystem:
     ghost:
         Enable Section-5 ghost logs.
     trace_enabled:
-        Record structured trace events.
+        Record structured trace events (also feeds the metrics bridge and
+        any attached lemma monitors).
+    metrics:
+        Share an existing :class:`~repro.obs.metrics.MetricsRegistry`
+        (default: a fresh one per engine).
+    trace_max_events:
+        Ring-buffer cap for the trace (default unbounded).
 
     Examples
     --------
@@ -140,10 +182,16 @@ class AggregationSystem:
         policy_factory: PolicyFactory = RWWPolicy,
         ghost: bool = False,
         trace_enabled: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_max_events: Optional[int] = None,
     ) -> None:
         self.tree = tree
         self.op = op
-        self.trace = TraceLog(enabled=trace_enabled)
+        self.trace = TraceLog(enabled=trace_enabled, max_events=trace_max_events)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: List[RequestSpan] = []
+        if trace_enabled:
+            self.trace.subscribe(MetricsBridge(self.metrics))
         self.stats = MessageStats()
         self.network = SynchronousNetwork(
             tree, receiver=self._receive, stats=self.stats, trace=self.trace
@@ -172,13 +220,34 @@ class AggregationSystem:
 
     # --------------------------------------------------------------- driving
     def execute(self, request: Request) -> Request:
-        """Execute one request to quiescence and return it (retval filled)."""
+        """Execute one request to quiescence and return it (retval filled).
+
+        Telemetry rides along: a ``combine_begin`` event stamped with the
+        expected probe frontier (Lemma 3.3), a :class:`RequestSpan` with
+        exact message attribution (sequential runs have one request in
+        flight at a time), and a ``quiescent`` event once the network has
+        drained — the hook the live lemma monitors check on.
+        """
         if not self.network.is_quiescent():
             raise RuntimeError("request initiated while messages are in transit")
+        req_id = len(self.executed)
+        m0 = self.stats.total
+        mark = self.trace.mark()
         node = self.nodes[request.node]
         if request.op == WRITE:
+            self.trace.emit(0.0, "write_begin", request.node, req=req_id)
             node.write(request)
         elif request.op == COMBINE:
+            if self.trace.enabled:
+                detail: Dict[str, Any] = {"req": req_id}
+                if request.scope is None:
+                    detail["expected_probes"] = [
+                        list(e)
+                        for e in sorted(expected_probe_edges(self.nodes, request.node))
+                    ]
+                else:
+                    detail["scope"] = request.scope
+                self.trace.emit(0.0, "combine_begin", request.node, **detail)
             done: List[Request] = []
             if request.scope is None:
                 node.begin_combine(request, done.append)
@@ -193,6 +262,23 @@ class AggregationSystem:
             raise ValueError(f"cannot execute op {request.op!r}")
         self.network.run_to_quiescence()
         self.executed.append(request)
+        fanout = ()
+        if self.trace.enabled and request.op == COMBINE:
+            fanout = probe_fanout_from_events(self.trace.since(mark))
+        span = RequestSpan(
+            req=req_id,
+            node=request.node,
+            op=request.op,
+            start=0.0,
+            end=0.0,
+            messages=self.stats.total - m0,
+            probe_fanout=fanout,
+            scope=request.scope,
+            value=request.retval if request.op == COMBINE else request.arg,
+        )
+        self.spans.append(span)
+        _observe_span(self.metrics, self.trace, span)
+        self.trace.emit(0.0, "quiescent", SYSTEM_NODE)
         return request
 
     def run(self, sequence: Sequence[Request]) -> ExecutionResult:
@@ -209,6 +295,8 @@ class AggregationSystem:
             trace=self.trace,
             nodes=self.nodes,
             tree=self.tree,
+            spans=list(self.spans),
+            metrics=self.metrics,
         )
 
     # ----------------------------------------------------------- invariants
@@ -299,11 +387,18 @@ class ConcurrentAggregationSystem:
         ghost: bool = True,
         trace_enabled: bool = False,
         reliability: Optional[ReliabilityConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_max_events: Optional[int] = None,
     ) -> None:
         self.tree = tree
         self.op = op
         self.sim = Simulator()
-        self.trace = TraceLog(enabled=trace_enabled)
+        self.trace = TraceLog(enabled=trace_enabled, max_events=trace_max_events)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: List[RequestSpan] = []
+        self._open_spans: Dict[int, Dict[str, Any]] = {}
+        if trace_enabled:
+            self.trace.subscribe(MetricsBridge(self.metrics))
         self.stats = MessageStats()
         self.reliability = reliability
         self.timeouts: List[CombineTimeout] = []
@@ -317,6 +412,7 @@ class ConcurrentAggregationSystem:
                 seed=seed,
                 stats=self.stats,
                 trace=self.trace,
+                metrics=self.metrics,
             )
         else:
             self.network = Network(
@@ -354,12 +450,53 @@ class ConcurrentAggregationSystem:
 
     def _initiate(self, request: Request) -> None:
         request.initiated_at = self.sim.now
+        req_id = len(self.executed)
         node = self.nodes[request.node]
         self.executed.append(request)
+        # A new initiation makes message attribution inexact for every span
+        # still open (they now share the goodput ledger).
+        for info in self._open_spans.values():
+            info["overlapped"] = True
+        overlapped = self._outstanding > 0 or not self.network.is_quiescent()
+        m0 = self.stats.total
+        mark = self.trace.mark()
         if request.op == WRITE:
+            self.trace.emit(self.sim.now, "write_begin", request.node, req=req_id)
             node.write(request)
+            span = RequestSpan(
+                req=req_id,
+                node=request.node,
+                op=WRITE,
+                start=request.initiated_at,
+                end=self.sim.now,
+                messages=self.stats.total - m0,
+                value=request.arg,
+                # Update relays propagate after the write returns; the span
+                # only sees the initiating fan-out, so flag any write whose
+                # traffic mingles with in-flight messages.
+                overlapped=overlapped or not self.network.is_quiescent(),
+            )
+            self.spans.append(span)
+            _observe_span(self.metrics, self.trace, span)
         elif request.op == COMBINE:
             self._outstanding += 1
+            if self.trace.enabled:
+                detail: Dict[str, Any] = {"req": req_id}
+                if request.scope is not None:
+                    detail["scope"] = request.scope
+                elif not overlapped:
+                    detail["expected_probes"] = [
+                        list(e)
+                        for e in sorted(expected_probe_edges(self.nodes, request.node))
+                    ]
+                self.trace.emit(self.sim.now, "combine_begin", request.node, **detail)
+            self._open_spans[req_id] = {
+                "request": request,
+                "m0": m0,
+                "mark": mark,
+                "start": self.sim.now,
+                "overlapped": overlapped,
+            }
             deadline = (
                 self.reliability.combine_deadline if self.reliability is not None else None
             )
@@ -368,6 +505,11 @@ class ConcurrentAggregationSystem:
             def done(_req: Request) -> None:
                 state["done"] = True
                 if not state["timed_out"]:
+                    if self._outstanding > 1:
+                        info = self._open_spans.get(req_id)
+                        if info is not None:
+                            info["overlapped"] = True
+                    self._close_span(req_id)
                     self._outstanding -= 1
 
             if deadline is not None:
@@ -378,6 +520,7 @@ class ConcurrentAggregationSystem:
                         return
                     state["timed_out"] = True
                     q.failed = True
+                    self._close_span(req_id, failure="timeout")
                     self._outstanding -= 1
                     self.timeouts.append(
                         CombineTimeout(
@@ -399,6 +542,31 @@ class ConcurrentAggregationSystem:
         else:
             raise ValueError(f"cannot execute op {request.op!r}")
 
+    def _close_span(self, req_id: int, failure: Optional[str] = None) -> None:
+        """Finalize the span of an open combine (normal, timeout, or hung)."""
+        info = self._open_spans.pop(req_id, None)
+        if info is None:
+            return
+        request = info["request"]
+        fanout = ()
+        if self.trace.enabled and not info["overlapped"] and failure is None:
+            fanout = probe_fanout_from_events(self.trace.since(info["mark"]))
+        span = RequestSpan(
+            req=req_id,
+            node=request.node,
+            op=COMBINE,
+            start=info["start"],
+            end=self.sim.now,
+            messages=self.stats.total - info["m0"],
+            probe_fanout=fanout,
+            scope=request.scope,
+            value=request.retval,
+            failure=failure,
+            overlapped=info["overlapped"],
+        )
+        self.spans.append(span)
+        _observe_span(self.metrics, self.trace, span)
+
     def run(self, schedule: Sequence[ScheduledRequest]) -> ExecutionResult:
         """Initiate every scheduled request and run the network to drain.
 
@@ -415,6 +583,7 @@ class ConcurrentAggregationSystem:
             raise RuntimeError(f"{self._outstanding} combine(s) never completed")
         if not self.network.is_quiescent():
             raise RuntimeError("network failed to drain")
+        self.trace.emit(self.sim.now, "quiescent", SYSTEM_NODE)
         return ExecutionResult(
             requests=list(self.executed),
             stats=self.stats,
@@ -422,6 +591,8 @@ class ConcurrentAggregationSystem:
             nodes=self.nodes,
             tree=self.tree,
             timeouts=list(self.timeouts),
+            spans=list(self.spans),
+            metrics=self.metrics,
         )
 
     def check_quiescent_invariants(self) -> None:

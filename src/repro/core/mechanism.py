@@ -316,9 +316,15 @@ class LeaseNode:
         """``sendprobes(w)``: open (or extend) requestor ``w``'s probe round."""
         self.pndg.add(w)
         already = self.sntprobes()
-        for v in self.nbrs:
-            if not self.taken[v] and v != w and v not in already:
-                self.send(v, Probe())
+        targets = [
+            v for v in self.nbrs if not self.taken[v] and v != w and v not in already
+        ]
+        if targets:
+            self.trace.emit(
+                self._clock(), "probe_round", self.id, requestor=w, targets=targets
+            )
+        for v in targets:
+            self.send(v, Probe())
 
     def _forwardupdates(self, w: int, upd_id: int) -> None:
         """``forwardupdates(w, id)``: push fresh subvals to all granted
@@ -402,6 +408,8 @@ class LeaseNode:
         whose coverage relied on it (Lemma 3.2).  The reverse lease back to
         ``w`` itself (if any) covers only this side of the tree and
         survives."""
+        if self.taken[w]:
+            self.trace.emit(self._clock(), "lease_voided", self.id, source=w)
         self.taken[w] = False
         self.uaw[w].clear()
         for v in self.grntd():

@@ -1,0 +1,296 @@
+"""Live lemma monitors: streaming checkers on the trace event bus.
+
+Where ``tests/test_lemmas.py`` checks the paper's lemmas *post-hoc* on
+finished runs, these monitors subscribe to the
+:class:`~repro.sim.trace.TraceLog` and assert the same claims **online**,
+while the run is still executing — the observability analogue of an
+in-production invariant guard.  Each monitor maps to one paper statement:
+
+* :class:`LeaseSymmetryMonitor` — Lemma 3.1: in every quiescent state,
+  ``u.taken[v] == v.granted[u]`` on every edge.  The monitor mirrors lease
+  state purely from ``lease_*`` events and cross-checks the mirror at each
+  ``quiescent`` event, so a mechanism bug that desynchronizes the two ends
+  of an edge is caught the moment the system next claims quiescence.
+* :class:`ProbeFanoutMonitor` — Lemma 3.3: a combine initiated in a
+  quiescent state sends exactly one probe along each edge of its
+  **lease-free frontier** (the edges reached from the initiator by paths
+  of non-taken leases).  The engine stamps the expected frontier into the
+  ``combine_begin`` event; the monitor collects the probes actually sent
+  during the span and compares sets at completion.
+* :class:`DeliveryContractMonitor` — the reliability layer's
+  goodput-equals-fault-free-cost claim: every *logical* message recorded as
+  goodput is delivered exactly once, in order, despite channel faults.
+  The monitor tallies logical sends against releases to the node automaton
+  per directed edge and demands they match at quiescence (and that no
+  segment ever exhausts its retry budget).
+
+Violations raise a structured :class:`MonitorViolation` in strict mode
+(the default, used by tests and CI) or are collected on
+``monitor.violations`` for the CLI to print as warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.obs.export import is_logical_kind
+from repro.sim.trace import TraceEvent, TraceLog
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach (the payload of MonitorViolation)."""
+
+    monitor: str
+    time: float
+    message: str
+    context: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        ctx = f" {dict(self.context)!r}" if self.context else ""
+        return f"[{self.monitor} @ t={self.time}] {self.message}{ctx}"
+
+
+class MonitorViolation(AssertionError):
+    """A live monitor observed a lemma violation.
+
+    Carries the structured :class:`Violation`; subclasses ``AssertionError``
+    so existing invariant-checking test patterns catch it uniformly.
+    """
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class Monitor:
+    """Base class: a named trace subscriber with strict/collect modes."""
+
+    name = "monitor"
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self._trace: Optional[TraceLog] = None
+
+    def attach(self, trace: TraceLog) -> "Monitor":
+        """Subscribe to a trace log; returns self for chaining."""
+        trace.subscribe(self.on_event)
+        self._trace = trace
+        return self
+
+    def detach(self) -> None:
+        if self._trace is not None:
+            self._trace.unsubscribe(self.on_event)
+            self._trace = None
+
+    def _violate(self, time: float, message: str, **context: Any) -> None:
+        v = Violation(monitor=self.name, time=time, message=message, context=context)
+        self.violations.append(v)
+        if self.strict:
+            raise MonitorViolation(v)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def on_event(self, ev: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class LeaseSymmetryMonitor(Monitor):
+    """Lemma 3.1 online: mirrored ``taken``/``granted`` agree at quiescence."""
+
+    name = "lease-symmetry"
+
+    #: taken-side transitions: event kind -> new state of taken[(node, source)]
+    _TAKEN = {"lease_acquired": True, "lease_released": False, "lease_voided": False}
+    #: granted-side transitions: event kind -> new state of granted[(node, grantee)]
+    _GRANTED = {"lease_granted": True, "lease_broken": False, "lease_revoked": False}
+
+    def __init__(self, strict: bool = True) -> None:
+        super().__init__(strict)
+        self.taken: Dict[Edge, bool] = {}
+        self.granted: Dict[Edge, bool] = {}
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind in self._TAKEN:
+            self.taken[(ev.node, ev.detail["source"])] = self._TAKEN[ev.kind]
+        elif ev.kind in self._GRANTED:
+            self.granted[(ev.node, ev.detail["grantee"])] = self._GRANTED[ev.kind]
+        elif ev.kind == "quiescent":
+            self._check(ev.time)
+
+    def _check(self, time: float) -> None:
+        edges: Set[Edge] = set(self.taken)
+        edges.update((v, u) for (u, v) in self.granted)
+        for u, v in sorted(edges):
+            t = self.taken.get((u, v), False)
+            g = self.granted.get((v, u), False)
+            if t != g:
+                self._violate(
+                    time,
+                    f"Lemma 3.1: {u}.taken[{v}]={t} but {v}.granted[{u}]={g} at quiescence",
+                    edge=[u, v], taken=t, granted=g,
+                )
+
+
+class ProbeFanoutMonitor(Monitor):
+    """Lemma 3.3 online: per-combine probes == the lease-free frontier.
+
+    Requires ``combine_begin`` events stamped with the expected frontier
+    (the engines do this whenever tracing is enabled).  When combines
+    overlap in time, probe attribution is ambiguous and the affected
+    combines are skipped (counted in :attr:`skipped`) — the lemma is a
+    sequential-execution statement.
+    """
+
+    name = "probe-fanout"
+
+    def __init__(self, strict: bool = True) -> None:
+        super().__init__(strict)
+        self._open: Dict[int, Dict[str, Any]] = {}
+        self.checked = 0
+        self.skipped = 0
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind == "combine_begin":
+            expected = ev.detail.get("expected_probes")
+            entry = {
+                "expected": None if expected is None else {tuple(e) for e in expected},
+                "probes": set(),
+                "tainted": ev.detail.get("scope") is not None or expected is None,
+            }
+            if self._open:
+                entry["tainted"] = True
+                for other in self._open.values():
+                    other["tainted"] = True
+            self._open[ev.detail["req"]] = entry
+        elif ev.kind == "send" and ev.detail.get("msg") == "probe":
+            for entry in self._open.values():
+                entry["probes"].add((ev.node, ev.detail["dst"]))
+        elif ev.kind == "span" and ev.detail.get("op") == "combine":
+            entry = self._open.pop(ev.detail["req"], None)
+            if entry is None:
+                return
+            if entry["tainted"] or ev.detail.get("overlapped"):
+                self.skipped += 1
+                return
+            self.checked += 1
+            if entry["probes"] != entry["expected"]:
+                self._violate(
+                    ev.time,
+                    "Lemma 3.3: combine probe fan-out differs from the "
+                    f"lease-free frontier (sent {len(entry['probes'])}, "
+                    f"frontier {len(entry['expected'])})",
+                    req=ev.detail["req"],
+                    sent=sorted(entry["probes"]),
+                    expected=sorted(entry["expected"]),
+                )
+
+
+class DeliveryContractMonitor(Monitor):
+    """Exactly-once, in-order delivery of every logical message.
+
+    Under the reliability layer this is the load-bearing half of the
+    goodput-equals-fault-free-cost claim: the goodput ledger records each
+    logical message once at send time, so if every logical send is released
+    to the automaton exactly once (``deliver`` events; plain networks emit
+    ``recv``), the faulty run's goodput matches the fault-free run of the
+    same schedule.  A retry budget running out (``delivery_failed``) is an
+    immediate violation — the contract is permanently broken on that edge.
+    """
+
+    name = "delivery-contract"
+
+    def __init__(self, strict: bool = True) -> None:
+        super().__init__(strict)
+        self.sent: Dict[Tuple[Edge, str], int] = {}
+        self.completed: Dict[Tuple[Edge, str], int] = {}
+
+    def on_event(self, ev: TraceEvent) -> None:
+        kind = ev.kind
+        if kind == "send":
+            msg = str(ev.detail.get("msg", ""))
+            if is_logical_kind(msg):
+                key = ((ev.node, ev.detail["dst"]), msg)
+                self.sent[key] = self.sent.get(key, 0) + 1
+        elif kind in ("recv", "deliver"):
+            msg = str(ev.detail.get("msg", ""))
+            if is_logical_kind(msg):
+                key = ((ev.detail["src"], ev.node), msg)
+                self.completed[key] = self.completed.get(key, 0) + 1
+        elif kind == "delivery_failed":
+            self._violate(
+                ev.time,
+                "reliable-delivery retry budget exhausted: logical message "
+                "lost for good",
+                edge=[ev.node, ev.detail["dst"]],
+                msg=ev.detail.get("msg"),
+                attempts=ev.detail.get("attempts"),
+            )
+        elif kind == "quiescent":
+            self._check(ev.time)
+
+    def _check(self, time: float) -> None:
+        for key in sorted(set(self.sent) | set(self.completed)):
+            s = self.sent.get(key, 0)
+            c = self.completed.get(key, 0)
+            if s != c:
+                (u, v), msg = key
+                self._violate(
+                    time,
+                    f"delivery contract: {s} {msg!r} send(s) on ({u},{v}) "
+                    f"but {c} delivered at quiescence",
+                    edge=[u, v], msg=msg, sent=s, delivered=c,
+                )
+
+
+def expected_probe_edges(nodes: Mapping[int, Any], origin: int) -> Set[Edge]:
+    """The lease-free frontier of a combine at ``origin`` (Lemma 3.3).
+
+    Directed edges a combine initiated at ``origin`` in the *current*
+    (quiescent) state will probe: starting at the initiator, the probe wave
+    crosses every edge ``(x, v)`` with ``not x.taken[v]``, fanning out away
+    from the requestor.  ``nodes`` is the engine's ``id -> LeaseNode`` map.
+    """
+    edges: Set[Edge] = set()
+    stack: List[Tuple[int, Optional[int]]] = [(origin, None)]
+    while stack:
+        x, parent = stack.pop()
+        nx = nodes[x]
+        for v in nx.nbrs:
+            if v == parent or nx.taken[v]:
+                continue
+            edges.add((x, v))
+            stack.append((v, x))
+    return edges
+
+
+def attach_standard_monitors(trace: TraceLog, strict: bool = True) -> List[Monitor]:
+    """Attach the three lemma monitors to a trace; returns them.
+
+    The trace must be enabled (monitors are event subscribers; a disabled
+    log never fires them).
+    """
+    if not trace.enabled:
+        raise ValueError("monitors need an enabled TraceLog (trace_enabled=True)")
+    monitors: List[Monitor] = [
+        LeaseSymmetryMonitor(strict=strict),
+        ProbeFanoutMonitor(strict=strict),
+        DeliveryContractMonitor(strict=strict),
+    ]
+    for m in monitors:
+        m.attach(trace)
+    return monitors
+
+
+def all_violations(monitors: List[Monitor]) -> List[Violation]:
+    """Flattened violations across monitors (empty = all lemmas held)."""
+    out: List[Violation] = []
+    for m in monitors:
+        out.extend(m.violations)
+    return out

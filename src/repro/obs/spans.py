@@ -1,0 +1,138 @@
+"""Request spans: one structured record per combine/write.
+
+A :class:`RequestSpan` is the per-request unit of the telemetry layer — the
+thing the paper's per-request cost statements (Lemma 3.3 for combines,
+Lemma 3.5 for leased writes) are *about*.  The execution engines build one
+span per initiated request, capturing:
+
+* start/end **virtual time** (identical in the sequential engine, whose
+  clock is pinned to 0.0; real durations in the concurrent engine);
+* the **messages attributed** to the request — the goodput-ledger delta
+  between initiation and completion.  In sequential executions this is an
+  exact attribution (one request in flight at a time); in concurrent
+  executions overlapping requests share the ledger, so spans whose window
+  overlapped another open request are flagged ``overlapped`` and their
+  message count is an upper bound;
+* the **probe fan-out** — the directed edges that carried probes during the
+  span (exact for non-overlapped combines; requires tracing);
+* the **failure cause** (``"timeout"`` for watchdog kills, ``"hung"`` for
+  combines a lossy run abandoned, ``None`` on success).
+
+Spans land in ``ExecutionResult.spans``, feed the ``messages_per_request``
+and ``combine_latency`` histograms, and are emitted as typed ``"span"``
+events into the :class:`~repro.sim.trace.TraceLog` so exported JSONL traces
+carry the full per-request story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class RequestSpan:
+    """Telemetry for one combine/write request.
+
+    Attributes
+    ----------
+    req:
+        Serial number of the request within its run (initiation order).
+    node:
+        Node where the request was initiated.
+    op:
+        ``"combine"`` or ``"write"``.
+    start, end:
+        Virtual times of initiation and completion.
+    messages:
+        Goodput messages attributed to the span (see module docstring).
+    probe_fanout:
+        Sorted directed edges ``(src, dst)`` that carried probe messages
+        during the span (empty when tracing was off or for writes).
+    scope:
+        Scoped-combine target neighbor, or ``None`` for global combines
+        and writes.
+    value:
+        The combine's retval / the write's argument.
+    failure:
+        ``None`` on success; ``"timeout"`` or ``"hung"`` otherwise.
+    overlapped:
+        True when another request was open during any part of the span
+        (concurrent engine only) — message attribution is then inexact.
+    """
+
+    req: int
+    node: int
+    op: str
+    start: float
+    end: float
+    messages: int
+    probe_fanout: Tuple[Edge, ...] = ()
+    scope: Optional[int] = None
+    value: Any = None
+    failure: Optional[str] = None
+    overlapped: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Virtual-clock latency of the request."""
+        return self.end - self.start
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (used by the trace exporter)."""
+        out: Dict[str, Any] = {
+            "req": self.req,
+            "node": self.node,
+            "op": self.op,
+            "start": self.start,
+            "end": self.end,
+            "messages": self.messages,
+        }
+        if self.probe_fanout:
+            out["probe_fanout"] = [list(e) for e in self.probe_fanout]
+        if self.scope is not None:
+            out["scope"] = self.scope
+        if self.value is not None:
+            out["value"] = self.value
+        if self.failure is not None:
+            out["failure"] = self.failure
+        if self.overlapped:
+            out["overlapped"] = True
+        return out
+
+
+def probe_fanout_from_events(events: List[Any]) -> Tuple[Edge, ...]:
+    """Directed edges that carried probes in a window of trace events.
+
+    ``events`` is a slice of :class:`~repro.sim.trace.TraceEvent` records
+    (e.g. ``trace.since(mark)``); logical probe sends are ``"send"`` events
+    with ``msg == "probe"``.
+    """
+    edges = {
+        (ev.node, ev.detail["dst"])
+        for ev in events
+        if ev.kind == "send" and ev.detail.get("msg") == "probe"
+    }
+    return tuple(sorted(edges))
+
+
+def span_summary(spans: List[RequestSpan]) -> Dict[str, Any]:
+    """Aggregate view of a run's spans (used by report/CLI)."""
+    combines = [s for s in spans if s.op == "combine"]
+    writes = [s for s in spans if s.op == "write"]
+    failed = [s for s in spans if not s.ok]
+    return {
+        "spans": len(spans),
+        "combines": len(combines),
+        "writes": len(writes),
+        "failed": len(failed),
+        "overlapped": sum(1 for s in spans if s.overlapped),
+        "messages_attributed": sum(s.messages for s in spans),
+        "max_combine_latency": max((s.duration for s in combines), default=0.0),
+    }

@@ -10,9 +10,11 @@ churn).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import AggregationSystem, ExecutionResult
+from repro.obs.metrics import DEFAULT_BUCKETS, LATENCY_BUCKETS, Histogram
+from repro.obs.spans import span_summary
 from repro.tree.topology import Tree
 from repro.workloads.requests import COMBINE, WRITE
 
@@ -109,10 +111,83 @@ def summarize_run(result: ExecutionResult, title: str = "run summary") -> str:
     breaks = result.trace.count("lease_broken") if len(result.trace) else None
     if grants is not None and (grants or breaks):
         lines.append(f"lease churn: {grants} grants, {breaks} breaks (traced)")
+    hottest = [(e, n) for e, n in busiest_edges(result, top=3) if n]
+    if hottest:
+        lines.append(
+            "hottest edges: "
+            + ", ".join(f"{u}-{v} ({n} msgs)" for (u, v), n in hottest)
+        )
     if combines:
         last = combines[-1]
         lines.append(f"last combine @ node {last.node}: {last.retval!r}")
     return "\n".join(lines)
+
+
+def _histogram_dict(result: ExecutionResult, name: str, op: Optional[str] = None) -> Dict[str, Any]:
+    """The named histogram from the run's registry, rebuilt from spans when
+    the registry never saw it (older results, hand-built ExecutionResults)."""
+    metrics = result.metrics
+    if metrics is not None:
+        for key, hist in metrics.histogram_values(name).items():
+            if op is None or dict(key).get("op") == op:
+                return hist.to_dict()
+    # Fallback: derive from spans.
+    hist = Histogram(LATENCY_BUCKETS if name == "combine_latency" else DEFAULT_BUCKETS)
+    for s in result.spans:
+        if name == "combine_latency" and s.op == COMBINE:
+            hist.observe(s.duration)
+        elif name == "messages_per_request" and (op is None or s.op == op):
+            hist.observe(s.messages)
+    return hist.to_dict()
+
+
+def summarize_run_data(result: ExecutionResult, title: str = "run summary") -> Dict[str, Any]:
+    """Machine-readable companion of :func:`summarize_run`.
+
+    The dict is JSON-safe and includes the per-request histograms
+    (messages/request split by op, combine virtual-clock latency), the
+    hottest edges, the recovery-overhead breakdown and the span rollup —
+    the payload behind ``--json`` CLI modes and benchmark artifacts.
+    """
+    combines = [q for q in result.requests if q.op == COMBINE]
+    writes = [q for q in result.requests if q.op == WRITE]
+    n_req = len(result.requests)
+    failed = result.failed_requests()
+    data: Dict[str, Any] = {
+        "title": title,
+        "tree": {"nodes": result.tree.n, "diameter": result.tree.diameter()},
+        "requests": {"total": n_req, "combines": len(combines), "writes": len(writes),
+                     "failed": len(failed)},
+        "messages": {
+            "total": result.total_messages,
+            "per_request": (result.total_messages / n_req) if n_req else 0.0,
+            "by_kind": dict(sorted(result.stats.by_kind().items())),
+        },
+        "overhead": {
+            "total": result.stats.overhead_total,
+            "by_kind": dict(sorted(result.stats.overhead_by_kind().items())),
+        },
+        "histograms": {
+            "messages_per_request": {
+                "combine": _histogram_dict(result, "messages_per_request", op=COMBINE),
+                "write": _histogram_dict(result, "messages_per_request", op=WRITE),
+            },
+            "combine_latency": _histogram_dict(result, "combine_latency"),
+        },
+        "hottest_edges": [
+            [list(e), n] for e, n in busiest_edges(result, top=3) if n
+        ],
+        "spans": span_summary(result.spans),
+    }
+    if len(result.trace):
+        data["lease_churn"] = {
+            "grants": result.trace.count("lease_granted"),
+            "breaks": result.trace.count("lease_broken"),
+        }
+    if combines:
+        last = combines[-1]
+        data["last_combine"] = {"node": last.node, "value": last.retval}
+    return data
 
 
 def busiest_edges(result: ExecutionResult, top: int = 5) -> List[Tuple[Tuple[int, int], int]]:

@@ -188,6 +188,7 @@ def faulty_concurrent_system(
     seed: int = 0,
     ghost: bool = True,
     reliability=None,
+    trace_enabled: bool = False,
 ):
     """A :class:`~repro.core.engine.ConcurrentAggregationSystem` whose
     transport is lossy.
@@ -214,6 +215,7 @@ def faulty_concurrent_system(
         latency=latency,
         seed=seed,
         ghost=ghost,
+        trace_enabled=trace_enabled,
     )
     # Swap the transport for the lossy one, re-binding the stats object so
     # system.stats keeps working.
@@ -242,6 +244,7 @@ def faulty_concurrent_system(
             seed=seed + 1,
             stats=system.stats,
             trace=system.trace,
+            metrics=system.metrics,
         )
     return system
 
@@ -262,6 +265,8 @@ def run_with_faults(system, schedule):
     hung = [q for q in system.executed if q.op == COMBINE and q.index < 0 and not q.failed]
     for q in hung:
         q.failed = True
+    for req_id in list(system._open_spans):
+        system._close_span(req_id, failure="hung")
     system._outstanding = 0
 
     result = ExecutionResult(
@@ -270,5 +275,7 @@ def run_with_faults(system, schedule):
         trace=system.trace,
         nodes=system.nodes,
         tree=system.tree,
+        spans=list(system.spans),
+        metrics=system.metrics,
     )
     return result, hung

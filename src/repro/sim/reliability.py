@@ -194,6 +194,7 @@ class ReliableNetwork:
         seed: int = 0,
         stats: Optional[MessageStats] = None,
         trace: Optional[TraceLog] = None,
+        metrics=None,
     ) -> None:
         self.tree = tree
         self.sim = sim
@@ -201,6 +202,9 @@ class ReliableNetwork:
         self.config = config
         self.stats = stats if stats is not None else MessageStats()
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` receiving
+        #: retransmit counters and reorder-buffer-depth gauges per edge.
+        self.metrics = metrics
         self.summary = ReliabilitySummary()
         self.failures: List[DeliveryFailure] = []
         # The wire: lossy transport carrying Segment/Ack frames.  It gets a
@@ -270,6 +274,8 @@ class ReliableNetwork:
         else:
             self.summary.retransmits += 1
             self.stats.record_overhead(src, dst, "retransmit")
+            if self.metrics is not None:
+                self.metrics.counter("retransmits_total", src=src, dst=dst).inc()
             self.trace.emit(
                 self.sim.now, "retransmit", src,
                 dst=dst, msg=out.message_kind, seq=out.seq, attempt=out.retries,
@@ -331,12 +337,18 @@ class ReliableNetwork:
         buffer[seq] = frame.payload
         if seq != expected:
             self.summary.out_of_order_buffered += 1
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "reorder_buffer_depth", src=src, dst=dst
+            ).set(len(buffer))
         while self._expected[edge] in buffer:
             payload = buffer.pop(self._expected[edge])
             self._expected[edge] += 1
             kind = getattr(payload, "kind", type(payload).__name__.lower())
             self.trace.emit(self.sim.now, "deliver", dst, src=src, msg=kind)
             self._receiver(src, dst, payload)
+        if self.metrics is not None:
+            self.metrics.gauge("reorder_buffer_depth", src=src, dst=dst).set(len(buffer))
         self._send_ack(edge)
 
     def _send_ack(self, edge: Edge) -> None:
@@ -355,6 +367,7 @@ def reliable_concurrent_system(
     latency: Optional[LatencyModel] = None,
     seed: int = 0,
     ghost: bool = True,
+    trace_enabled: bool = False,
 ):
     """A concurrent system whose lossy transport is healed by a
     :class:`ReliableNetwork` — shorthand for
@@ -371,4 +384,5 @@ def reliable_concurrent_system(
         seed=seed,
         ghost=ghost,
         reliability=config if config is not None else ReliabilityConfig(),
+        trace_enabled=trace_enabled,
     )

@@ -1,16 +1,80 @@
-"""Structured execution traces.
+"""Structured execution traces — the event bus of the observability layer.
 
-A :class:`TraceLog` is an append-only list of :class:`TraceEvent` records —
+A :class:`TraceLog` is an ordered log of :class:`TraceEvent` records —
 request initiations/completions, message sends/receives, lease transitions —
 used by tests to check the paper's lemmas against actual executions (e.g.
-"during this combine exactly |A| probe messages were sent", Lemma 3.3) and by
-examples to narrate runs.  Tracing is optional and off by default.
+"during this combine exactly |A| probe messages were sent", Lemma 3.3), by
+the live lemma monitors (:mod:`repro.obs.monitors`), and by the JSONL
+exporter (:mod:`repro.obs.export`).  Tracing is optional and off by default.
+
+Beyond plain appends the log supports:
+
+* **typed event schemas** — :data:`EVENT_SCHEMAS` names every event kind the
+  repo emits together with its required detail fields; ``TraceLog(strict=
+  True)`` validates each emit against it (tests run strict, production
+  paths default lenient so ad-hoc debugging events stay cheap);
+* **a bounded ring-buffer mode** — ``max_events`` caps memory for
+  long-running systems; :meth:`TraceLog.mark` cursors stay valid across
+  evictions (they are absolute sequence numbers);
+* **subscriber callbacks** — :meth:`TraceLog.subscribe` registers live
+  consumers (span recorders, lemma monitors, streaming exporters) invoked
+  synchronously on every emit;
+* **emit-time copying** — mutable detail values (dicts/lists/sets) are
+  shallow-copied on emit, so events stay fixed even when the caller keeps
+  mutating the object it logged (``uaw`` sets, probe-target sets, ...).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+#: Subscriber callback signature: receives each event as it is emitted.
+Subscriber = Callable[["TraceEvent"], None]
+
+#: Every event kind emitted by the repo, mapped to its *required* detail
+#: fields.  Emitters may add extra fields; ``strict`` logs reject unknown
+#: kinds and missing required fields.  This doubles as the trace-file format
+#: reference (see docs/API.md, "Observability").
+EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    # transport
+    "send": ("dst", "msg"),              # logical or frame-level send
+    "recv": ("src", "msg"),              # wire-level arrival
+    "deliver": ("src", "msg"),           # reliable layer releases a payload
+    "fault": ("dst", "msg", "fault"),    # injected drop/duplicate/reorder
+    "retransmit": ("dst", "msg", "seq", "attempt"),
+    "dup_suppressed": ("src", "seq"),
+    "delivery_failed": ("dst", "msg", "seq", "attempts"),
+    # mechanism
+    "probe_round": ("requestor", "targets"),
+    "combine_done": ("value",),
+    "scoped_combine_done": ("toward", "value"),
+    "write_done": ("arg",),
+    "lease_acquired": ("source",),       # taken[source] := True at node
+    "lease_released": ("source",),       # taken[source] := False at node
+    "lease_granted": ("grantee",),       # granted[grantee] := True at node
+    "lease_broken": ("grantee",),        # granted[grantee] := False at node
+    "lease_revoked": ("grantee",),       # dynamic trees: grant voided
+    "lease_voided": ("source",),         # dynamic trees: taken side voided
+    # engine
+    "combine_begin": ("req",),
+    "write_begin": ("req",),
+    "combine_timeout": ("deadline",),
+    "span": ("req", "op", "start", "end", "messages"),
+    "quiescent": (),
+}
+
+
+def _copy_value(value: Any) -> Any:
+    """Shallow-copy mutable containers so emitted events stay immutable."""
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, set):
+        return set(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -22,12 +86,11 @@ class TraceEvent:
     time:
         Virtual time (0.0 in the sequential engine).
     kind:
-        Event kind, e.g. ``"send"``, ``"recv"``, ``"request"``, ``"reply"``,
-        ``"lease_set"``, ``"lease_break"``.
+        Event kind — see :data:`EVENT_SCHEMAS` for the catalogue.
     node:
         The node at which the event happened.
     detail:
-        Free-form payload (message kind, peer, request, values, ...).
+        Event payload (message kind, peer, request, values, ...).
     """
 
     time: float
@@ -36,17 +99,97 @@ class TraceEvent:
     detail: Dict[str, Any] = field(default_factory=dict)
 
 
+class SchemaError(ValueError):
+    """A strict TraceLog rejected an emit (unknown kind / missing field)."""
+
+
 class TraceLog:
-    """Append-only event log with simple query helpers."""
+    """Ordered event log with query helpers, ring-buffer mode and subscribers.
 
-    def __init__(self, enabled: bool = True) -> None:
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`emit` is a no-op (subscribers still do *not*
+        fire) — the zero-overhead default for production runs.
+    max_events:
+        Optional ring-buffer cap.  When set, only the most recent
+        ``max_events`` events are retained; :attr:`dropped` counts
+        evictions and :meth:`mark`/:meth:`since` keep working (cursors are
+        absolute sequence numbers, clamped to the retained window).
+    strict:
+        Validate every emit against :data:`EVENT_SCHEMAS`; raises
+        :class:`SchemaError` on unknown kinds or missing required fields.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_events: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
         self.enabled = enabled
-        self._events: List[TraceEvent] = []
+        self.strict = strict
+        self.max_events = max_events
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self._dropped = 0
+        self._subscribers: List[Subscriber] = []
 
+    # ------------------------------------------------------------- emitting
     def emit(self, time: float, kind: str, node: int, **detail: Any) -> None:
-        """Append an event (no-op when disabled)."""
-        if self.enabled:
-            self._events.append(TraceEvent(time=time, kind=kind, node=node, detail=detail))
+        """Append an event and notify subscribers (no-op when disabled).
+
+        Mutable detail values are shallow-copied so later caller-side
+        mutation never rewrites history.
+        """
+        if not self.enabled:
+            return
+        if self.strict:
+            required = EVENT_SCHEMAS.get(kind)
+            if required is None:
+                raise SchemaError(f"unknown trace event kind {kind!r}")
+            missing = [f for f in required if f not in detail]
+            if missing:
+                raise SchemaError(
+                    f"event {kind!r} missing required detail field(s) {missing}"
+                )
+        payload = {k: _copy_value(v) for k, v in detail.items()}
+        event = TraceEvent(time=time, kind=kind, node=node, detail=payload)
+        if self.max_events is not None and len(self._events) == self.max_events:
+            self._dropped += 1
+        self._events.append(event)
+        for fn in self._subscribers:
+            fn(event)
+
+    # ---------------------------------------------------------- subscribers
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Register a live consumer called synchronously on every emit.
+
+        Returns ``fn`` so the call can be used as a decorator.  Subscriber
+        exceptions propagate to the emitter — that is how the lemma
+        monitors turn a violated invariant into a hard failure in tests.
+        """
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Remove a previously registered subscriber (no-op if absent)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    # -------------------------------------------------------------- queries
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer since the last :meth:`clear`."""
+        return self._dropped
+
+    @property
+    def total_emitted(self) -> int:
+        """All events ever emitted (retained + evicted)."""
+        return len(self._events) + self._dropped
 
     def __len__(self) -> int:
         return len(self._events)
@@ -63,7 +206,7 @@ class TraceLog:
         node: Optional[int] = None,
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
     ) -> List[TraceEvent]:
-        """Filtered view of the log."""
+        """Filtered view of the retained log."""
         out = []
         for ev in self._events:
             if kind is not None and ev.kind != kind:
@@ -76,17 +219,27 @@ class TraceLog:
         return out
 
     def count(self, kind: str) -> int:
-        """Number of events of ``kind``."""
+        """Number of retained events of ``kind``."""
         return sum(1 for ev in self._events if ev.kind == kind)
 
     def mark(self) -> int:
-        """A cursor into the log; use with :meth:`since`."""
-        return len(self._events)
+        """A cursor into the log; use with :meth:`since`.
+
+        Cursors are absolute sequence numbers, so they survive ring-buffer
+        eviction (events evicted since the mark are simply gone from the
+        returned window).
+        """
+        return self.total_emitted
 
     def since(self, mark: int) -> List[TraceEvent]:
-        """Events appended after the given :meth:`mark` cursor."""
-        return self._events[mark:]
+        """Events appended after the given :meth:`mark` cursor (retained
+        portion only, if the ring buffer evicted part of the window)."""
+        offset = max(0, mark - self._dropped)
+        if offset == 0:
+            return list(self._events)
+        return list(self._events)[offset:]
 
     def clear(self) -> None:
-        """Drop all events."""
+        """Drop all events and reset the eviction counter (subscribers stay)."""
         self._events.clear()
+        self._dropped = 0
