@@ -19,7 +19,8 @@ from __future__ import annotations
 from repro import path_tree, random_tree
 from repro.consistency import check_strict_consistency
 from repro.sim.channel import constant_latency
-from repro.sim.faults import FaultPlan, faulty_concurrent_system, run_with_faults
+from repro import faulty_concurrent_system, run_with_faults
+from repro.sim.faults import FaultPlan
 from repro.util import format_table
 from repro import ScheduledRequest
 from repro.workloads import combine, uniform_workload, write
@@ -109,7 +110,7 @@ def main() -> None:
 
 
 def run_reliable(tree, workload, plan):
-    from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
+    from repro import ReliabilityConfig, reliable_concurrent_system
 
     system = reliable_concurrent_system(
         tree, plan,

@@ -36,17 +36,20 @@ from repro.core.engine import (
     ConcurrentAggregationSystem,
     ExecutionResult,
     ScheduledRequest,
+    faulty_concurrent_system,
+    reliable_concurrent_system,
+    run_with_faults,
 )
-from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
+from repro.sim.reliability import ReliabilityConfig
 from repro.core.mechanism import LeaseNode
-from repro.core.policy import LeasePolicy
-from repro.core.rww import RWWPolicy
 from repro.core.policies import (
     ABPolicy,
     AlwaysLeasePolicy,
-    NeverLeasePolicy,
-    WriteOncePolicy,
     HeterogeneousABPolicy,
+    LeasePolicy,
+    NeverLeasePolicy,
+    RWWPolicy,
+    WriteOncePolicy,
 )
 from repro.core.randomized import RandomBreakPolicy, random_break_factory
 from repro.core.multiattr import MultiAttributeSystem, MultiOpReport
@@ -80,7 +83,9 @@ __all__ = [
     "ExecutionResult",
     "ScheduledRequest",
     "ReliabilityConfig",
+    "faulty_concurrent_system",
     "reliable_concurrent_system",
+    "run_with_faults",
     "LeaseNode",
     "LeasePolicy",
     "RWWPolicy",

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.core.engine import AggregationSystem, PolicyFactory
-from repro.core.rww import RWWPolicy
+from repro.core.policies import RWWPolicy
 from repro.offline.edge_dp import offline_lease_lower_bound
 from repro.offline.nice_bound import nice_lower_bound
 from repro.ops.monoid import AggregationOperator

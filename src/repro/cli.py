@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 from repro.core.engine import AggregationSystem
 from repro.core.policies import ABPolicy, AlwaysLeasePolicy, NeverLeasePolicy
-from repro.core.rww import RWWPolicy
+from repro.core.policies import RWWPolicy
 from repro.tree.generators import (
     binary_tree,
     path_tree,
@@ -303,7 +303,8 @@ def cmd_chaos(args) -> int:
     from repro.core.engine import ConcurrentAggregationSystem, ScheduledRequest
     from repro.sim.channel import constant_latency
     from repro.sim.faults import FaultPlan
-    from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
+    from repro.core.engine import reliable_concurrent_system
+    from repro.sim.reliability import ReliabilityConfig
 
     if args.step_pct < 1:
         raise SystemExit("--step-pct must be >= 1")
@@ -393,7 +394,8 @@ def cmd_trace_record(args) -> int:
     from repro.report import summarize_run_data
     from repro.sim.channel import constant_latency
     from repro.sim.faults import FaultPlan
-    from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
+    from repro.core.engine import reliable_concurrent_system
+    from repro.sim.reliability import ReliabilityConfig
 
     tree = make_tree(args.topology, args.nodes, args.seed)
     wl = uniform_workload(tree.n, args.length, read_ratio=args.read_ratio,

@@ -5,12 +5,14 @@
 * :mod:`repro.core.mechanism` — :class:`~repro.core.mechanism.LeaseNode`,
   a faithful implementation of the Figure-1 automaton (transitions
   ``T1``–``T6`` and the helper procedures), transport-agnostic.
-* :mod:`repro.core.policy` — the policy stub interface (the underlined
-  calls in Figure 1).
-* :mod:`repro.core.rww` — the paper's online policy **RWW** (Section 4).
-* :mod:`repro.core.policies` — the wider policy family: generic
+* :mod:`repro.core.policies` — the whole policy layer: the stub interface
+  (:class:`~repro.core.policies.LeasePolicy`, the underlined calls in
+  Figure 1), the paper's online policy **RWW** (Section 4), generic
   ``(a, b)``-algorithms on observable workloads, always-lease
   (Astrolabe-like) and never-lease (MDS-2-like) extremes.
+  (``repro.core.policy`` and ``repro.core.rww`` are deprecated aliases.)
+* :mod:`repro.core.runtime` — the shared node-runtime (node map, router,
+  telemetry hooks, quiescence checking) every engine drives.
 * :mod:`repro.core.engine` — sequential (Section 2) and concurrent
   (Section 5) execution engines sharing the same node code.
 * :mod:`repro.core.ghost` — Section 5's ghost-log instrumentation
@@ -18,16 +20,17 @@
 """
 
 from repro.core.messages import Message, Probe, Release, Response, Update
-from repro.core.policy import LeasePolicy
-from repro.core.rww import RWWPolicy
 from repro.core.policies import (
     ABPolicy,
     AlwaysLeasePolicy,
-    NeverLeasePolicy,
-    WriteOncePolicy,
     HeterogeneousABPolicy,
+    LeasePolicy,
+    NeverLeasePolicy,
+    RWWPolicy,
+    WriteOncePolicy,
 )
 from repro.core.mechanism import LeaseNode
+from repro.core.runtime import NodeRuntime, Router
 from repro.core.engine import (
     AggregationSystem,
     ConcurrentAggregationSystem,
@@ -49,6 +52,8 @@ __all__ = [
     "WriteOncePolicy",
     "HeterogeneousABPolicy",
     "LeaseNode",
+    "NodeRuntime",
+    "Router",
     "AggregationSystem",
     "ConcurrentAggregationSystem",
     "ExecutionResult",

@@ -24,25 +24,34 @@ strict consistency:
 
 Node ids are never reused: a removed leaf's id stays retired, and combine
 values aggregate over the *live* membership only.
+
+The engine itself is a thin driver: it subclasses
+:class:`~repro.core.engine.AggregationSystem` and implements topology
+changes with the runtime's attach/detach/rename primitives
+(:meth:`~repro.core.runtime.NodeRuntime.add_node` /
+``remove_node`` / ``rename_node`` / ``set_topology``) plus the node-level
+:meth:`~repro.core.mechanism.LeaseNode.attach_neighbor` /
+``detach_neighbor`` / ``rename_neighbor`` hooks.  Because transports come
+from the same :class:`~repro.sim.transport.TransportConfig` factory, the
+dynamic engine also runs over faulty or reliable stacks — attach/detach
+under faults needs nothing extra.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
-from repro.core.engine import PolicyFactory
-from repro.core.mechanism import LeaseNode
-from repro.core.rww import RWWPolicy
+from repro.core.engine import AggregationSystem, PolicyFactory
+from repro.core.policies import RWWPolicy
+from repro.obs.metrics import MetricsRegistry
 from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
-from repro.sim.network import SynchronousNetwork
-from repro.sim.stats import MessageStats
-from repro.sim.trace import TraceLog
+from repro.sim.transport import TransportConfig
 from repro.tree.topology import Tree
 from repro.workloads.requests import Request
 
 
-class DynamicAggregationSystem:
+class DynamicAggregationSystem(AggregationSystem):
     """Sequential aggregation over a tree whose leaves may come and go.
 
     Starts from an initial tree; ``add_leaf(parent)`` grows a fresh node
@@ -50,7 +59,7 @@ class DynamicAggregationSystem:
     current leaf.  Both run the revocation protocol and drain the network
     before returning, so every topology change completes in a quiescent
     state.  Requests execute exactly as in
-    :class:`~repro.core.engine.AggregationSystem`.
+    :class:`~repro.core.engine.AggregationSystem` (including telemetry).
     """
 
     def __init__(
@@ -59,43 +68,27 @@ class DynamicAggregationSystem:
         op: AggregationOperator = SUM,
         policy_factory: PolicyFactory = RWWPolicy,
         trace_enabled: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        transport: Optional[TransportConfig] = None,
+        seed: int = 0,
     ) -> None:
-        self.op = op
-        self.policy_factory = policy_factory
-        self.trace = TraceLog(enabled=trace_enabled)
-        self.stats = MessageStats()
-        self._next_id = tree.n
+        super().__init__(
+            tree,
+            op=op,
+            policy_factory=policy_factory,
+            trace_enabled=trace_enabled,
+            metrics=metrics,
+            transport=transport,
+            seed=seed,
+        )
         self._edges: Set[Tuple[int, int]] = {tuple(sorted(e)) for e in tree.edges}
         self._live: Set[int] = set(tree.nodes())
-        self.tree = tree
-        self.network = SynchronousNetwork(
-            tree, receiver=self._receive, stats=self.stats, trace=self.trace
-        )
-        self.nodes: Dict[int, LeaseNode] = {}
-        for i in tree.nodes():
-            self.nodes[i] = self._make_node(i, tree)
-        self.executed: List[Request] = []
-
-    # ----------------------------------------------------------- plumbing
-    def _make_node(self, node_id: int, tree: Tree) -> LeaseNode:
-        def send(dst: int, message) -> None:
-            self.network.send(node_id, dst, message)
-
-        return LeaseNode(
-            node_id, tree, self.op, self.policy_factory(), send=send, trace=self.trace
-        )
-
-    def _receive(self, src: int, dst: int, message) -> None:
-        self.nodes[dst].on_message(src, message)
 
     # ------------------------------------------------------------- topology
     @property
     def live_nodes(self) -> Set[int]:
         """Ids of current members."""
         return set(self._live)
-
-    def _current_tree(self) -> Tree:
-        return self.tree
 
     def _set_topology(self, edges: Set[Tuple[int, int]]) -> Tree:
         """Build the internal Tree for the live membership.
@@ -120,21 +113,18 @@ class DynamicAggregationSystem:
         """
         if parent not in self._live:
             raise ValueError(f"parent {parent} is not a live node")
-        if not self.network.is_quiescent():
+        if not self.runtime.is_quiescent():
             raise RuntimeError("topology change while messages are in transit")
         # 1. Revoke the grants whose coverage is about to change.
         self.nodes[parent].revoke_granted()
-        self.network.run_to_quiescence()
+        self.runtime.drain()
         # 2. Splice in the new node.
         new_id = len(self._live)
         self._live.add(new_id)
         self._edges.add(tuple(sorted((parent, new_id))))
         new_tree = self._set_topology(self._edges)
-        self.tree = new_tree
-        self.network.tree = new_tree
-        for node in self.nodes.values():
-            node.tree = new_tree
-        self.nodes[new_id] = self._make_node(new_id, new_tree)
+        self.runtime.set_topology(new_tree)
+        self.runtime.add_node(new_id, new_tree)
         self.nodes[parent].attach_neighbor(new_id, new_tree)
         self.nodes[new_id].nbrs = new_tree.neighbors(new_id)
         return new_id
@@ -155,16 +145,16 @@ class DynamicAggregationSystem:
         neighbors = self.tree.neighbors(node)
         if len(neighbors) != 1:
             raise ValueError(f"node {node} is not a leaf (degree {len(neighbors)})")
-        if not self.network.is_quiescent():
+        if not self.runtime.is_quiescent():
             raise RuntimeError("topology change while messages are in transit")
         parent = neighbors[0]
         # 1. The parent's grants covered the departing leaf: revoke them.
         self.nodes[parent].revoke_granted()
-        self.network.run_to_quiescence()
+        self.runtime.drain()
         # 2. Drop the leaf and its edge.
         self._edges.discard(tuple(sorted((node, parent))))
         self._live.discard(node)
-        del self.nodes[node]
+        self.runtime.remove_node(node)
         self.nodes[parent].detach_neighbor(node, self.tree)  # tree updated below
         # 3. Compact ids: rename the highest id onto the hole.
         remap: Dict[int, int] = {}
@@ -173,95 +163,27 @@ class DynamicAggregationSystem:
             remap[highest] = node
             self._rename_node(highest, node)
         new_tree = self._set_topology(self._edges)
-        self.tree = new_tree
-        self.network.tree = new_tree
+        self.runtime.set_topology(new_tree)
         for nid, ln in self.nodes.items():
-            ln.tree = new_tree
             ln.nbrs = new_tree.neighbors(nid)
         return remap
 
     def _rename_node(self, old: int, new: int) -> None:
         """Rename node id ``old`` to ``new`` across all state tables."""
-        ln = self.nodes.pop(old)
-        ln.id = new
-
-        def send(dst: int, message, node_id=new) -> None:
-            self.network.send(node_id, dst, message)
-
-        ln._send = send
-        self.nodes[new] = ln
+        ln = self.runtime.rename_node(old, new)
         self._live.discard(old)
         self._live.add(new)
-        new_edges = set()
-        for a, b in self._edges:
-            a2 = new if a == old else a
-            b2 = new if b == old else b
-            new_edges.add(tuple(sorted((a2, b2))))
-        self._edges = new_edges
-        # Neighbor tables at the renamed node's neighbors.
+        self._edges = {
+            tuple(sorted((new if a == old else a, new if b == old else b)))
+            for a, b in self._edges
+        }
         for other in self.nodes.values():
-            if other is ln:
-                continue
-            for table in (other.taken, other.granted, other.aval, other.uaw):
-                if old in table:
-                    table[new] = table.pop(old)
-            if old in other.snt:
-                other.snt[new] = other.snt.pop(old)
-            if old in other.pndg:
-                other.pndg.discard(old)
-                other.pndg.add(new)
-            other.sntupdates = [
-                ((new if t[0] == old else t[0]), t[1], t[2]) for t in other.sntupdates
-            ]
-            # Policy per-neighbor tables (lt/cc dicts where present).
-            for attr in ("lt", "cc"):
-                d = getattr(other.policy, attr, None)
-                if isinstance(d, dict) and old in d:
-                    d[new] = d.pop(old)
+            if other is not ln:
+                other.rename_neighbor(old, new)
 
     # ------------------------------------------------------------- requests
     def execute(self, request: Request) -> Request:
         """Execute one request to quiescence (see AggregationSystem)."""
         if request.node not in self._live:
             raise ValueError(f"request targets retired node {request.node}")
-        node = self.nodes[request.node]
-        if request.op == "write":
-            node.write(request)
-        elif request.op == "combine":
-            done: List[Request] = []
-            node.begin_combine(request, done.append)
-            self.network.run_to_quiescence()
-            if not done:
-                raise RuntimeError("combine did not complete at quiescence")
-        else:
-            raise ValueError(f"cannot execute op {request.op!r}")
-        self.network.run_to_quiescence()
-        self.executed.append(request)
-        return request
-
-    # ----------------------------------------------------------- invariants
-    def check_quiescent_invariants(self) -> None:
-        """The static engine's invariant battery, on the current topology."""
-        if not self.network.is_quiescent():
-            raise AssertionError("network not quiescent")
-        for u, v in self.tree.directed_edges():
-            if self.nodes[u].taken[v] != self.nodes[v].granted[u]:
-                raise AssertionError(f"Lemma 3.1 violated on edge ({u},{v})")
-        for u in self.tree.nodes():
-            nu = self.nodes[u]
-            for v in nu.nbrs:
-                if nu.granted[v]:
-                    for w in nu.nbrs:
-                        if w != v and not nu.taken[w]:
-                            raise AssertionError(f"Lemma 3.2 violated at {u}")
-            if not nu.quiescent_state_ok():
-                raise AssertionError(f"Lemma 3.4 violated at {u}")
-
-    def lease_graph_edges(self) -> List[Tuple[int, int]]:
-        """Directed granted edges in the current topology."""
-        return [
-            (u, v)
-            for u in self.tree.nodes()
-            for v in self.nodes[u].nbrs
-            if self.nodes[u].granted[v]
-        ]
+        return super().execute(request)

@@ -9,12 +9,20 @@
   latency-ful network; combines may overlap with writes and each other.
   This is the setting of the causal-consistency theorem (Theorem 4).
 
-Both engines run identical :class:`~repro.core.mechanism.LeaseNode` code and
-produce an :class:`ExecutionResult` with the executed requests (retvals and
-indices filled in), full per-edge/per-type message statistics, traces, and —
-when ghosts are enabled — the Section-5 logs for consistency checking.
+Both engines are thin *drivers* over one shared
+:class:`~repro.core.runtime.NodeRuntime`, which owns the node map, the
+message routing, the telemetry hooks and the quiescent-invariant battery.
+The transport underneath is assembled by
+:func:`~repro.sim.transport.build_transport` from a declarative
+:class:`~repro.sim.transport.TransportConfig`, so either driver runs over
+any stack: the plain wire, a lossy one
+(:func:`faulty_concurrent_system`), or a lossy-but-healed one
+(:func:`reliable_concurrent_system`).  Even the sequential driver can run
+over a simulated stack — each request simply drains the event heap — which
+is what lets the multi-attribute and dynamic layers compose with faults
+and reliability.
 
-Telemetry (:mod:`repro.obs`) is threaded through both engines: every run
+Telemetry (:mod:`repro.obs`) is threaded through the runtime: every run
 fills a :class:`~repro.obs.metrics.MetricsRegistry` (request counters,
 messages-per-request and combine-latency histograms) and records one
 :class:`~repro.obs.spans.RequestSpan` per request; with tracing enabled the
@@ -25,46 +33,43 @@ events — the feed the live lemma monitors and the JSONL exporter run on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.mechanism import LeaseNode
-from repro.core.policy import LeasePolicy
-from repro.core.rww import RWWPolicy
-from repro.obs.metrics import LATENCY_BUCKETS, MetricsBridge, MetricsRegistry
-from repro.obs.monitors import expected_probe_edges
-from repro.obs.spans import RequestSpan, probe_fanout_from_events
+from repro.core.policies import RWWPolicy
+from repro.core.runtime import (
+    SYSTEM_NODE,
+    NodeRuntime,
+    PolicyFactory,
+    check_quiescent_invariants,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import RequestSpan
 from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
 from repro.sim.channel import LatencyModel
-from repro.sim.network import Network, SynchronousNetwork
-from repro.sim.reliability import ReliabilityConfig, ReliableNetwork
+from repro.sim.faults import FaultPlan
+from repro.sim.reliability import ReliabilityConfig
 from repro.sim.scheduler import Simulator
 from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceLog
+from repro.sim.transport import Transport, TransportConfig
 from repro.tree.topology import Tree
 from repro.workloads.requests import COMBINE, WRITE, Request
 
-#: Builds a fresh policy instance for one node.
-PolicyFactory = Callable[[], LeasePolicy]
-
-#: ``node`` value of engine-level trace events (``quiescent``) that do not
-#: belong to any single node.
-SYSTEM_NODE = -1
-
-
-def _observe_span(metrics: MetricsRegistry, trace: TraceLog, span: RequestSpan) -> None:
-    """Record one completed span into the registry and the trace."""
-    metrics.counter("requests_total", node=span.node, op=span.op).inc()
-    metrics.histogram("messages_per_request", op=span.op).observe(span.messages)
-    if span.op == COMBINE:
-        metrics.histogram("combine_latency", buckets=LATENCY_BUCKETS).observe(
-            span.duration
-        )
-        if span.failure is not None:
-            metrics.counter("request_failures_total", node=span.node, kind=span.failure).inc()
-    detail = span.to_dict()
-    detail.pop("node", None)  # the event's own node field carries it
-    trace.emit(span.end, "span", span.node, **detail)
+__all__ = [
+    "AggregationSystem",
+    "CombineTimeout",
+    "ConcurrentAggregationSystem",
+    "ExecutionResult",
+    "PolicyFactory",
+    "SYSTEM_NODE",
+    "ScheduledRequest",
+    "check_quiescent_invariants",
+    "faulty_concurrent_system",
+    "reliable_concurrent_system",
+    "run_with_faults",
+]
 
 
 @dataclass(frozen=True)
@@ -142,7 +147,85 @@ class ExecutionResult:
         return out
 
 
-class AggregationSystem:
+class _RuntimeDriver:
+    """Delegation surface every engine shares over its
+    :class:`~repro.core.runtime.NodeRuntime`.
+
+    The runtime owns the state; the engine exposes the historical public
+    attributes (``tree``, ``nodes``, ``network``, ``stats``, ``trace``,
+    ``metrics``, ``spans``, ``sim``) as read-only views onto it.
+    """
+
+    runtime: NodeRuntime
+    executed: List[Request]
+
+    @property
+    def tree(self) -> Tree:
+        return self.runtime.tree
+
+    @property
+    def op(self) -> AggregationOperator:
+        return self.runtime.op
+
+    @property
+    def trace(self) -> TraceLog:
+        return self.runtime.trace
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.runtime.metrics
+
+    @property
+    def spans(self) -> List[RequestSpan]:
+        return self.runtime.spans
+
+    @property
+    def stats(self) -> MessageStats:
+        return self.runtime.stats
+
+    @property
+    def network(self) -> Transport:
+        return self.runtime.network
+
+    @property
+    def nodes(self) -> Dict[int, LeaseNode]:
+        return self.runtime.nodes
+
+    @property
+    def sim(self) -> Optional[Simulator]:
+        return self.runtime.sim
+
+    def result(self) -> ExecutionResult:
+        """Snapshot the execution outcome so far."""
+        return ExecutionResult(
+            requests=list(self.executed),
+            stats=self.runtime.stats,
+            trace=self.runtime.trace,
+            nodes=self.runtime.nodes,
+            tree=self.runtime.tree,
+            timeouts=list(getattr(self, "timeouts", ())),
+            spans=list(self.runtime.spans),
+            metrics=self.runtime.metrics,
+        )
+
+    def check_quiescent_invariants(self) -> None:
+        """Assert the paper's quiescent-state lemmas on the current state.
+
+        * Lemma 3.1: ``u.taken[v] == v.granted[u]`` for every edge.
+        * Lemma 3.2: ``u.granted[v]`` implies ``u.taken[w]`` for all other
+          neighbors ``w``.
+        * Lemma 3.4: every ``pndg`` and ``snt`` is empty.
+        * Transport quiescence: no message in transit.
+        """
+        self.runtime.check_quiescent_invariants()
+
+    def lease_graph_edges(self) -> List[tuple]:
+        """Directed edges (u, v) with ``u.granted[v]`` — the lease graph
+        G(Q) of Section 3.2 for the current quiescent state."""
+        return self.runtime.lease_graph_edges()
+
+
+class AggregationSystem(_RuntimeDriver):
     """Sequential execution engine (Section 2's quiescent-state model).
 
     Parameters
@@ -153,7 +236,7 @@ class AggregationSystem:
         The aggregation operator (default: :data:`~repro.ops.standard.SUM`).
     policy_factory:
         Zero-argument callable producing a fresh policy per node
-        (default: :class:`~repro.core.rww.RWWPolicy`).
+        (default: :class:`~repro.core.policies.RWWPolicy`).
     ghost:
         Enable Section-5 ghost logs.
     trace_enabled:
@@ -164,6 +247,13 @@ class AggregationSystem:
         (default: a fresh one per engine).
     trace_max_events:
         Ring-buffer cap for the trace (default unbounded).
+    transport:
+        Transport-stack description (default: the synchronous FIFO queue).
+        A simulated stack also works: each request then drains the event
+        heap, so the sequential model composes with latency, faults and
+        the reliability layer.
+    seed:
+        Engine seed, inherited by the transport unless its config pins one.
 
     Examples
     --------
@@ -184,39 +274,21 @@ class AggregationSystem:
         trace_enabled: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         trace_max_events: Optional[int] = None,
+        transport: Optional[TransportConfig] = None,
+        seed: int = 0,
     ) -> None:
-        self.tree = tree
-        self.op = op
-        self.trace = TraceLog(enabled=trace_enabled, max_events=trace_max_events)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.spans: List[RequestSpan] = []
-        if trace_enabled:
-            self.trace.subscribe(MetricsBridge(self.metrics))
-        self.stats = MessageStats()
-        self.network = SynchronousNetwork(
-            tree, receiver=self._receive, stats=self.stats, trace=self.trace
+        self.runtime = NodeRuntime(
+            tree,
+            op=op,
+            policy_factory=policy_factory,
+            transport=transport,
+            ghost=ghost,
+            trace_enabled=trace_enabled,
+            metrics=metrics,
+            trace_max_events=trace_max_events,
+            seed=seed,
         )
-        self.nodes: Dict[int, LeaseNode] = {}
-        for i in tree.nodes():
-            self.nodes[i] = LeaseNode(
-                i,
-                tree,
-                op,
-                policy_factory(),
-                send=self._make_send(i),
-                trace=self.trace,
-                ghost=ghost,
-            )
         self.executed: List[Request] = []
-
-    def _make_send(self, src: int) -> Callable[[int, Any], None]:
-        def send(dst: int, message: Any) -> None:
-            self.network.send(src, dst, message)
-
-        return send
-
-    def _receive(self, src: int, dst: int, message: Any) -> None:
-        self.nodes[dst].on_message(src, message)
 
     # --------------------------------------------------------------- driving
     def execute(self, request: Request) -> Request:
@@ -228,57 +300,34 @@ class AggregationSystem:
         flight at a time), and a ``quiescent`` event once the network has
         drained — the hook the live lemma monitors check on.
         """
-        if not self.network.is_quiescent():
+        rt = self.runtime
+        if not rt.is_quiescent():
             raise RuntimeError("request initiated while messages are in transit")
         req_id = len(self.executed)
-        m0 = self.stats.total
-        mark = self.trace.mark()
-        node = self.nodes[request.node]
+        m0 = rt.stats.total
+        mark = rt.trace.mark()
+        start = rt.now
+        node = rt.nodes[request.node]
+        rt.emit_request_begin(req_id, request)
         if request.op == WRITE:
-            self.trace.emit(0.0, "write_begin", request.node, req=req_id)
             node.write(request)
         elif request.op == COMBINE:
-            if self.trace.enabled:
-                detail: Dict[str, Any] = {"req": req_id}
-                if request.scope is None:
-                    detail["expected_probes"] = [
-                        list(e)
-                        for e in sorted(expected_probe_edges(self.nodes, request.node))
-                    ]
-                else:
-                    detail["scope"] = request.scope
-                self.trace.emit(0.0, "combine_begin", request.node, **detail)
             done: List[Request] = []
             if request.scope is None:
                 node.begin_combine(request, done.append)
             else:
                 node.begin_scoped_combine(request, done.append)
-            self.network.run_to_quiescence()
+            rt.drain()
             if not done:
                 raise RuntimeError(
                     f"combine at node {request.node} did not complete at quiescence"
                 )
         else:
             raise ValueError(f"cannot execute op {request.op!r}")
-        self.network.run_to_quiescence()
+        rt.drain()
         self.executed.append(request)
-        fanout = ()
-        if self.trace.enabled and request.op == COMBINE:
-            fanout = probe_fanout_from_events(self.trace.since(mark))
-        span = RequestSpan(
-            req=req_id,
-            node=request.node,
-            op=request.op,
-            start=0.0,
-            end=0.0,
-            messages=self.stats.total - m0,
-            probe_fanout=fanout,
-            scope=request.scope,
-            value=request.retval if request.op == COMBINE else request.arg,
-        )
-        self.spans.append(span)
-        _observe_span(self.metrics, self.trace, span)
-        self.trace.emit(0.0, "quiescent", SYSTEM_NODE)
+        rt.finish_span(req_id, request, start=start, end=rt.now, m0=m0, mark=mark)
+        rt.emit_quiescent()
         return request
 
     def run(self, sequence: Sequence[Request]) -> ExecutionResult:
@@ -286,71 +335,6 @@ class AggregationSystem:
         for q in sequence:
             self.execute(q)
         return self.result()
-
-    def result(self) -> ExecutionResult:
-        """Snapshot the execution outcome so far."""
-        return ExecutionResult(
-            requests=list(self.executed),
-            stats=self.stats,
-            trace=self.trace,
-            nodes=self.nodes,
-            tree=self.tree,
-            spans=list(self.spans),
-            metrics=self.metrics,
-        )
-
-    # ----------------------------------------------------------- invariants
-    def check_quiescent_invariants(self) -> None:
-        """Assert the paper's quiescent-state lemmas on the current state.
-
-        * Lemma 3.1: ``u.taken[v] == v.granted[u]`` for every edge.
-        * Lemma 3.2: ``u.granted[v]`` implies ``u.taken[w]`` for all other
-          neighbors ``w``.
-        * Lemma 3.4: every ``pndg`` and ``snt`` is empty.
-        * Transport quiescence: no message in transit.
-        """
-        check_quiescent_invariants(self.tree, self.nodes, self.network)
-
-    def lease_graph_edges(self) -> List[tuple]:
-        """Directed edges (u, v) with ``u.granted[v]`` — the lease graph
-        G(Q) of Section 3.2 for the current quiescent state."""
-        return [
-            (u, v)
-            for u in self.tree.nodes()
-            for v in self.nodes[u].nbrs
-            if self.nodes[u].granted[v]
-        ]
-
-
-def check_quiescent_invariants(tree: Tree, nodes: Dict[int, LeaseNode], network) -> None:
-    """Assert the paper's quiescent-state lemmas (3.1, 3.2, 3.4) plus
-    transport quiescence for any engine's current state.
-
-    Shared by the sequential and concurrent engines — the lemmas hold in
-    every quiescent state regardless of execution model, and (with the
-    reliability layer) must be restored at drain even after channel faults.
-    """
-    if not network.is_quiescent():
-        raise AssertionError("network not quiescent: messages in transit")
-    for u, v in tree.directed_edges():
-        nu, nv = nodes[u], nodes[v]
-        if nu.taken[v] != nv.granted[u]:
-            raise AssertionError(
-                f"Lemma 3.1 violated on edge ({u},{v}): "
-                f"{u}.taken[{v}]={nu.taken[v]} but {v}.granted[{u}]={nv.granted[u]}"
-            )
-    for u in tree.nodes():
-        nu = nodes[u]
-        for v in nu.nbrs:
-            if nu.granted[v]:
-                for w in nu.nbrs:
-                    if w != v and not nu.taken[w]:
-                        raise AssertionError(
-                            f"Lemma 3.2 violated at {u}: granted[{v}] "
-                            f"but taken[{w}] is false"
-                        )
-        if not nu.quiescent_state_ok():
-            raise AssertionError(f"Lemma 3.4 violated at {u}: pndg/snt not empty")
 
 
 @dataclass(order=True)
@@ -361,7 +345,7 @@ class ScheduledRequest:
     request: Request = field(compare=False)
 
 
-class ConcurrentAggregationSystem:
+class ConcurrentAggregationSystem(_RuntimeDriver):
     """Concurrent execution engine over a latency-ful FIFO network.
 
     Requests are initiated at scheduled virtual times; combines complete
@@ -373,8 +357,8 @@ class ConcurrentAggregationSystem:
     in-order release) and, when ``combine_deadline`` is set, every combine
     gets a watchdog: if it is still incomplete at the deadline it is failed
     fast with a structured :class:`CombineTimeout` instead of hanging the
-    run.  Fault injection composes through
-    :func:`repro.sim.faults.faulty_concurrent_system`.
+    run.  Fault injection composes through ``transport`` (see
+    :func:`faulty_concurrent_system`).
     """
 
     def __init__(
@@ -389,112 +373,63 @@ class ConcurrentAggregationSystem:
         reliability: Optional[ReliabilityConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace_max_events: Optional[int] = None,
+        transport: Optional[TransportConfig] = None,
     ) -> None:
-        self.tree = tree
-        self.op = op
-        self.sim = Simulator()
-        self.trace = TraceLog(enabled=trace_enabled, max_events=trace_max_events)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.spans: List[RequestSpan] = []
-        self._open_spans: Dict[int, Dict[str, Any]] = {}
-        if trace_enabled:
-            self.trace.subscribe(MetricsBridge(self.metrics))
-        self.stats = MessageStats()
-        self.reliability = reliability
+        if transport is None:
+            transport = TransportConfig.simulated(latency=latency, reliability=reliability)
+        if not transport.needs_sim:
+            raise ValueError("the concurrent engine needs a simulated transport stack")
+        self.runtime = NodeRuntime(
+            tree,
+            op=op,
+            policy_factory=policy_factory,
+            transport=transport,
+            ghost=ghost,
+            trace_enabled=trace_enabled,
+            metrics=metrics,
+            trace_max_events=trace_max_events,
+            seed=seed,
+        )
+        self.reliability = transport.reliability
         self.timeouts: List[CombineTimeout] = []
-        if reliability is not None:
-            self.network = ReliableNetwork(
-                tree,
-                self.sim,
-                receiver=self._receive,
-                config=reliability,
-                latency=latency,
-                seed=seed,
-                stats=self.stats,
-                trace=self.trace,
-                metrics=self.metrics,
-            )
-        else:
-            self.network = Network(
-                tree,
-                self.sim,
-                receiver=self._receive,
-                latency=latency,
-                seed=seed,
-                stats=self.stats,
-                trace=self.trace,
-            )
-        self.nodes: Dict[int, LeaseNode] = {}
-        for i in tree.nodes():
-            self.nodes[i] = LeaseNode(
-                i,
-                tree,
-                op,
-                policy_factory(),
-                send=self._make_send(i),
-                trace=self.trace,
-                ghost=ghost,
-                clock=lambda: self.sim.now,
-            )
         self.executed: List[Request] = []
+        self._open_spans: Dict[int, Dict[str, Any]] = {}
         self._outstanding = 0
 
-    def _make_send(self, src: int) -> Callable[[int, Any], None]:
-        def send(dst: int, message: Any) -> None:
-            self.network.send(src, dst, message)
-
-        return send
-
-    def _receive(self, src: int, dst: int, message: Any) -> None:
-        self.nodes[dst].on_message(src, message)
-
     def _initiate(self, request: Request) -> None:
-        request.initiated_at = self.sim.now
+        rt = self.runtime
+        request.initiated_at = rt.now
         req_id = len(self.executed)
-        node = self.nodes[request.node]
+        node = rt.nodes[request.node]
         self.executed.append(request)
         # A new initiation makes message attribution inexact for every span
         # still open (they now share the goodput ledger).
         for info in self._open_spans.values():
             info["overlapped"] = True
-        overlapped = self._outstanding > 0 or not self.network.is_quiescent()
-        m0 = self.stats.total
-        mark = self.trace.mark()
+        overlapped = self._outstanding > 0 or not rt.is_quiescent()
+        m0 = rt.stats.total
+        mark = rt.trace.mark()
+        rt.emit_request_begin(req_id, request, overlapped=overlapped)
         if request.op == WRITE:
-            self.trace.emit(self.sim.now, "write_begin", request.node, req=req_id)
             node.write(request)
-            span = RequestSpan(
-                req=req_id,
-                node=request.node,
-                op=WRITE,
+            # Update relays propagate after the write returns; the span
+            # only sees the initiating fan-out, so flag any write whose
+            # traffic mingles with in-flight messages.
+            rt.finish_span(
+                req_id,
+                request,
                 start=request.initiated_at,
-                end=self.sim.now,
-                messages=self.stats.total - m0,
-                value=request.arg,
-                # Update relays propagate after the write returns; the span
-                # only sees the initiating fan-out, so flag any write whose
-                # traffic mingles with in-flight messages.
-                overlapped=overlapped or not self.network.is_quiescent(),
+                end=rt.now,
+                m0=m0,
+                overlapped=overlapped or not rt.is_quiescent(),
             )
-            self.spans.append(span)
-            _observe_span(self.metrics, self.trace, span)
         elif request.op == COMBINE:
             self._outstanding += 1
-            if self.trace.enabled:
-                detail: Dict[str, Any] = {"req": req_id}
-                if request.scope is not None:
-                    detail["scope"] = request.scope
-                elif not overlapped:
-                    detail["expected_probes"] = [
-                        list(e)
-                        for e in sorted(expected_probe_edges(self.nodes, request.node))
-                    ]
-                self.trace.emit(self.sim.now, "combine_begin", request.node, **detail)
             self._open_spans[req_id] = {
                 "request": request,
                 "m0": m0,
                 "mark": mark,
-                "start": self.sim.now,
+                "start": rt.now,
                 "overlapped": overlapped,
             }
             deadline = (
@@ -513,7 +448,7 @@ class ConcurrentAggregationSystem:
                     self._outstanding -= 1
 
             if deadline is not None:
-                deadline_at = self.sim.now + deadline
+                deadline_at = rt.now + deadline
 
                 def watchdog(q: Request = request) -> None:
                     if state["done"] or state["timed_out"]:
@@ -530,11 +465,11 @@ class ConcurrentAggregationSystem:
                             deadline=deadline_at,
                         )
                     )
-                    self.trace.emit(
-                        self.sim.now, "combine_timeout", q.node, deadline=deadline_at
+                    rt.trace.emit(
+                        rt.now, "combine_timeout", q.node, deadline=deadline_at
                     )
 
-                self.sim.schedule(deadline, watchdog, label=f"watchdog node {request.node}")
+                rt.sim.schedule(deadline, watchdog, label=f"watchdog node {request.node}")
             if request.scope is None:
                 node.begin_combine(request, done)
             else:
@@ -547,25 +482,16 @@ class ConcurrentAggregationSystem:
         info = self._open_spans.pop(req_id, None)
         if info is None:
             return
-        request = info["request"]
-        fanout = ()
-        if self.trace.enabled and not info["overlapped"] and failure is None:
-            fanout = probe_fanout_from_events(self.trace.since(info["mark"]))
-        span = RequestSpan(
-            req=req_id,
-            node=request.node,
-            op=COMBINE,
+        self.runtime.finish_span(
+            req_id,
+            info["request"],
             start=info["start"],
-            end=self.sim.now,
-            messages=self.stats.total - info["m0"],
-            probe_fanout=fanout,
-            scope=request.scope,
-            value=request.retval,
-            failure=failure,
+            end=self.runtime.now,
+            m0=info["m0"],
+            mark=info["mark"],
             overlapped=info["overlapped"],
+            failure=failure,
         )
-        self.spans.append(span)
-        _observe_span(self.metrics, self.trace, span)
 
     def run(self, schedule: Sequence[ScheduledRequest]) -> ExecutionResult:
         """Initiate every scheduled request and run the network to drain.
@@ -576,27 +502,111 @@ class ConcurrentAggregationSystem:
         and reported through ``ExecutionResult.timeouts`` /
         ``Request.failed`` instead.
         """
+        rt = self.runtime
         for item in schedule:
-            self.sim.schedule_at(item.time, lambda q=item.request: self._initiate(q))
-        self.sim.run()
+            rt.sim.schedule_at(item.time, lambda q=item.request: self._initiate(q))
+        rt.sim.run()
         if self._outstanding:
             raise RuntimeError(f"{self._outstanding} combine(s) never completed")
-        if not self.network.is_quiescent():
+        if not rt.is_quiescent():
             raise RuntimeError("network failed to drain")
-        self.trace.emit(self.sim.now, "quiescent", SYSTEM_NODE)
-        return ExecutionResult(
-            requests=list(self.executed),
-            stats=self.stats,
-            trace=self.trace,
-            nodes=self.nodes,
-            tree=self.tree,
-            timeouts=list(self.timeouts),
-            spans=list(self.spans),
-            metrics=self.metrics,
-        )
+        rt.emit_quiescent()
+        return self.result()
 
-    def check_quiescent_invariants(self) -> None:
-        """Assert the quiescent-state lemmas (see the sequential engine's
-        method).  Meaningful once the simulator has drained — with the
-        reliability layer on, faults must not leave any residue."""
-        check_quiescent_invariants(self.tree, self.nodes, self.network)
+
+# --------------------------------------------------------------------------
+# Fault-injection entry points.  These live with the engine (they build
+# ConcurrentAggregationSystem instances); the sim layer stays free of core
+# imports — transports are composed via TransportConfig like everywhere else.
+# --------------------------------------------------------------------------
+
+
+def faulty_concurrent_system(
+    tree: Tree,
+    plan: FaultPlan,
+    op: Optional[AggregationOperator] = None,
+    policy_factory: Optional[PolicyFactory] = None,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    ghost: bool = True,
+    reliability: Optional[ReliabilityConfig] = None,
+    trace_enabled: bool = False,
+) -> ConcurrentAggregationSystem:
+    """A :class:`ConcurrentAggregationSystem` whose transport is lossy.
+
+    With ``reliability=None`` (the raw fault-injection mode) the transport
+    is a bare :class:`~repro.sim.faults.FaultyNetwork`: combines that lose
+    their probe or response messages never complete — run with
+    :func:`run_with_faults`, which tolerates and marks the hung requests.
+
+    With ``reliability=ReliabilityConfig(...)`` the lossy wire is wrapped in
+    a :class:`~repro.sim.reliability.ReliableNetwork`, restoring the paper's
+    reliable-FIFO contract end-to-end; the system can then be driven with
+    the ordinary :meth:`ConcurrentAggregationSystem.run`.  Either way
+    ``system.network.faults`` holds the injected-fault log.
+
+    The transport seed is ``seed + 1`` (the historical convention keeping
+    fault-run latency streams distinct from the fault-free baseline's).
+    """
+    config = TransportConfig.simulated(
+        latency=latency,
+        plan=plan,
+        reliability=reliability,
+        seed=seed + 1,
+    )
+    return ConcurrentAggregationSystem(
+        tree,
+        op=op if op is not None else SUM,
+        policy_factory=policy_factory if policy_factory is not None else RWWPolicy,
+        seed=seed,
+        ghost=ghost,
+        trace_enabled=trace_enabled,
+        transport=config,
+    )
+
+
+def reliable_concurrent_system(
+    tree: Tree,
+    plan: FaultPlan,
+    config: Optional[ReliabilityConfig] = None,
+    op: Optional[AggregationOperator] = None,
+    policy_factory: Optional[PolicyFactory] = None,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    ghost: bool = True,
+    trace_enabled: bool = False,
+) -> ConcurrentAggregationSystem:
+    """A concurrent system whose lossy transport is healed by a
+    :class:`~repro.sim.reliability.ReliableNetwork` — shorthand for
+    :func:`faulty_concurrent_system` with ``reliability`` set."""
+    return faulty_concurrent_system(
+        tree,
+        plan,
+        op=op,
+        policy_factory=policy_factory,
+        latency=latency,
+        seed=seed,
+        ghost=ghost,
+        reliability=config if config is not None else ReliabilityConfig(),
+        trace_enabled=trace_enabled,
+    )
+
+
+def run_with_faults(system: ConcurrentAggregationSystem, schedule):
+    """Run a faulty system to network drain, tolerating hung combines.
+
+    Returns ``(result, hung)`` where ``hung`` is the list of combine
+    requests that never completed.  Each is explicitly marked
+    ``q.failed = True`` so a hung combine is never mistaken for one that
+    legitimately returned ``None`` (they also keep ``q.index == -1``).
+    """
+    for item in schedule:
+        system.sim.schedule_at(item.time, lambda q=item.request: system._initiate(q))
+    system.sim.run()
+    hung = [q for q in system.executed if q.op == COMBINE and q.index < 0 and not q.failed]
+    for q in hung:
+        q.failed = True
+    for req_id in list(system._open_spans):
+        system._close_span(req_id, failure="hung")
+    system._outstanding = 0
+    return system.result(), hung

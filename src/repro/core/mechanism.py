@@ -32,11 +32,12 @@ Per-node state (Figure 1's ``var`` block):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from functools import partial
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Set, Tuple, Type
 
 from repro.core.ghost import GhostLog
 from repro.core.messages import Message, Probe, Release, Response, Revoke, Update
-from repro.core.policy import LeasePolicy
+from repro.core.policies import LeasePolicy
 from repro.ops.monoid import AggregationOperator
 from repro.sim.trace import TraceLog
 from repro.tree.topology import Tree
@@ -104,6 +105,12 @@ class LeaseNode:
         self.upcntr = 0
         self.sntupdates: List[Tuple[int, int, int]] = []
 
+        # Precomputed per-neighbor send callables: one bound partial per
+        # directed edge instead of a closure frame on every send.
+        self._send_to: Dict[int, Callable[[Message], None]] = {
+            v: partial(send, v) for v in self.nbrs
+        }
+
         self.completed_requests = 0
         self._waiters: List[Tuple[Request, CompleteFn]] = []
         self._scoped_waiters: Dict[int, List[Tuple[Request, CompleteFn]]] = {}
@@ -148,25 +155,53 @@ class LeaseNode:
 
     # ------------------------------------------------------------- transport
     def send(self, dst: int, message: Message) -> None:
-        self._send(dst, message)
+        sender = self._send_to.get(dst)
+        if sender is None:
+            # Not a precomputed neighbor: let the transport raise its
+            # not-a-tree-edge error.
+            self._send(dst, message)
+            return
+        sender(message)
+
+    def rebind_send(self, send: SendFn) -> None:
+        """Replace the transport callback and rebuild the per-neighbor
+        send callables (dynamic rename: the node's own id changed)."""
+        self._send = send
+        self._send_to = {v: partial(send, v) for v in self.nbrs}
 
     def _wlog_snapshot(self) -> Optional[Tuple[Request, ...]]:
         return self.ghost.wlog_snapshot() if self.ghost is not None else None
 
+    #: Class-keyed dispatch table for :meth:`on_message` — one dict lookup
+    #: on the exact message type instead of an ``isinstance`` chain.
+    #: Populated after the class body (handlers must exist); message
+    #: subclasses are resolved through the MRO on first sight and cached.
+    _DISPATCH: ClassVar[Dict[Type[Message], Callable[["LeaseNode", int, Message], None]]] = {}
+
     def on_message(self, src: int, message: Message) -> None:
         """Dispatch a received message to the matching transition."""
-        if isinstance(message, Probe):
-            self._t3_probe(src)
-        elif isinstance(message, Response):
-            self._t4_response(src, message)
-        elif isinstance(message, Update):
-            self._t5_update(src, message)
-        elif isinstance(message, Release):
-            self._t6_release(src, message)
-        elif isinstance(message, Revoke):
-            self._on_revoke(src)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown message type {type(message).__name__}")
+        handler = self._DISPATCH.get(type(message))
+        if handler is None:
+            handler = self._resolve_handler(type(message))
+        handler(self, src, message)
+
+    @classmethod
+    def _resolve_handler(
+        cls, msg_type: Type[Message]
+    ) -> Callable[["LeaseNode", int, Message], None]:
+        """Slow path: walk the MRO for message subclasses, cache the hit."""
+        for base in msg_type.__mro__:
+            handler = cls._DISPATCH.get(base)
+            if handler is not None:
+                cls._DISPATCH[msg_type] = handler
+                return handler
+        raise TypeError(f"unknown message type {msg_type.__name__}")
+
+    def _dispatch_probe(self, src: int, message: Message) -> None:
+        self._t3_probe(src)
+
+    def _dispatch_revoke(self, src: int, message: Message) -> None:
+        self._on_revoke(src)
 
     # -------------------------------------------------------------------- T1
     def begin_combine(self, request: Request, on_complete: CompleteFn) -> None:
@@ -438,6 +473,7 @@ class LeaseNode:
         self.granted[v] = False
         self.aval[v] = self.op.identity
         self.uaw[v] = set()
+        self._send_to[v] = partial(self._send, v)
         self.policy.neighbor_attached(self, v)
 
     def detach_neighbor(self, v: int, tree: Tree) -> None:
@@ -450,7 +486,34 @@ class LeaseNode:
         self.snt.pop(v, None)
         self.pndg.discard(v)
         self.sntupdates = [t for t in self.sntupdates if t[0] != v]
+        self._send_to.pop(v, None)
         self.policy.neighbor_detached(self, v)
+
+    def rename_neighbor(self, old: int, new: int) -> None:
+        """Neighbor ``old`` is now called ``new`` (dense-id compaction in
+        dynamic trees).  Every per-neighbor table — protocol state, the
+        policy's bookkeeping, and the precomputed send callable — is
+        re-keyed; the protocol state itself is untouched."""
+        if old not in self._send_to:
+            return
+        for table in (self.taken, self.granted, self.aval, self.uaw):
+            if old in table:
+                table[new] = table.pop(old)
+        if old in self.snt:
+            self.snt[new] = self.snt.pop(old)
+        if old in self.pndg:
+            self.pndg.discard(old)
+            self.pndg.add(new)
+        self.sntupdates = [
+            ((new if t[0] == old else t[0]), t[1], t[2]) for t in self.sntupdates
+        ]
+        del self._send_to[old]
+        self._send_to[new] = partial(self._send, new)
+        # Policy per-neighbor tables (lt/cc dicts where present).
+        for attr in ("lt", "cc"):
+            d = getattr(self.policy, attr, None)
+            if isinstance(d, dict) and old in d:
+                d[new] = d.pop(old)
 
     # ------------------------------------------------------------ inspection
     def has_pending(self) -> bool:
@@ -467,3 +530,14 @@ class LeaseNode:
             f"taken={[v for v in self.nbrs if self.taken[v]]}, "
             f"granted={[v for v in self.nbrs if self.granted[v]]})"
         )
+
+
+LeaseNode._DISPATCH.update(
+    {
+        Probe: LeaseNode._dispatch_probe,
+        Response: LeaseNode._t4_response,
+        Update: LeaseNode._t5_update,
+        Release: LeaseNode._t6_release,
+        Revoke: LeaseNode._dispatch_revoke,
+    }
+)

@@ -26,8 +26,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.engine import AggregationSystem, PolicyFactory
-from repro.core.rww import RWWPolicy
+from repro.core.policies import RWWPolicy
 from repro.ops.monoid import AggregationOperator
+from repro.sim.transport import TransportConfig
 from repro.tree.topology import Tree
 from repro.workloads.requests import combine as make_combine
 from repro.workloads.requests import write as make_write
@@ -75,6 +76,15 @@ class MultiAttributeSystem:
     policies:
         Optional per-attribute policy factories (overrides
         ``policy_factory`` for the named attributes).
+    transport:
+        Optional :class:`~repro.sim.transport.TransportConfig` applied to
+        every attribute's engine (each gets its own stack instance, seeded
+        ``seed + attribute index`` for distinct latency streams).  This is
+        what lets the batching layer run over the concurrent-model
+        transports — latency-ful, faulty, or reliable — not just the
+        synchronous queue.
+    seed:
+        Base seed for per-attribute transports (simulated stacks only).
     """
 
     def __init__(
@@ -83,15 +93,23 @@ class MultiAttributeSystem:
         attributes: Mapping[str, AggregationOperator],
         policy_factory: PolicyFactory = RWWPolicy,
         policies: Optional[Mapping[str, PolicyFactory]] = None,
+        transport: Optional[TransportConfig] = None,
+        seed: int = 0,
     ) -> None:
         if not attributes:
             raise ValueError("need at least one attribute")
         self.tree = tree
         self.operators: Dict[str, AggregationOperator] = dict(attributes)
         self.systems: Dict[str, AggregationSystem] = {}
-        for name, op in self.operators.items():
+        for index, (name, op) in enumerate(self.operators.items()):
             factory = (policies or {}).get(name, policy_factory)
-            self.systems[name] = AggregationSystem(tree, op=op, policy_factory=factory)
+            self.systems[name] = AggregationSystem(
+                tree,
+                op=op,
+                policy_factory=factory,
+                transport=transport,
+                seed=seed + index,
+            )
         self.total_unbatched = 0
         self.total_batched = 0
 

@@ -1,96 +1,13 @@
-"""The lease-policy interface — the underlined stubs of Figure 1.
+"""Deprecated alias of :mod:`repro.core.policies`.
 
-A lease-based aggregation *algorithm* is the Figure-1 mechanism plus a
-policy deciding when to set and break leases.  The mechanism invokes the
-policy at exactly the points marked in the pseudocode:
-
-===================  =====================================================
-Stub                 Called from
-===================  =====================================================
-``on_combine``       ``T1`` line 1, before pending/lease checks
-``probe_rcvd``       ``T3`` line 1
-``response_rcvd``    ``T4`` line 1
-``update_rcvd``      ``T5`` line 1
-``release_rcvd``     ``T6`` line 1
-``set_lease``        ``sendresponse``, when all other neighbors are taken
-``break_lease``      ``forwardrelease``, per taken neighbor eligible for
-                     release
-``release_policy``   ``onrelease``, per taken neighbor after the ``uaw``
-                     window is trimmed
-===================  =====================================================
-
-Policies receive the :class:`~repro.core.mechanism.LeaseNode` itself and may
-read its state (``tkn()``, ``grntd()``, ``uaw`` …) but must mutate only
-their own bookkeeping — the mechanism owns the protocol state.
+The policy layer (interface and implementations) now lives in one module,
+``repro.core.policies``.  This shim re-exports :class:`LeasePolicy` so
+existing ``from repro.core.policy import LeasePolicy`` imports keep
+working for one release; update imports to ``repro.core.policies``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from repro.core.policies import LeasePolicy
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.mechanism import LeaseNode
-
-
-class LeasePolicy:
-    """Base policy: never grants, never breaks (both overridable).
-
-    The default is intentionally inert so subclasses opt in to behaviour;
-    an inert policy degenerates to MDS-2-style pull-on-every-read.
-    """
-
-    def bind(self, node: "LeaseNode") -> None:
-        """Called once when the owning node is constructed."""
-
-    # ------------------------------------------------------- event callbacks
-    def on_combine(self, node: "LeaseNode") -> None:
-        """A combine request was initiated at ``node``."""
-
-    def on_write(self, node: "LeaseNode") -> None:
-        """A write request was executed at ``node``.
-
-        Figure 1 has no policy stub in ``T2``; RWW does not need one.  This
-        extension hook exists so generic ``(a, b)``-policies with ``a > 1``
-        can observe local writes when counting *consecutive* combines; the
-        default is a no-op, so paper-faithful policies are unaffected.
-        """
-
-    def probe_rcvd(self, node: "LeaseNode", w: int) -> None:
-        """``node`` received a probe from neighbor ``w``."""
-
-    def response_rcvd(self, node: "LeaseNode", flag: bool, w: int) -> None:
-        """``node`` received a response (lease granted iff ``flag``) from ``w``."""
-
-    def update_rcvd(self, node: "LeaseNode", w: int) -> None:
-        """``node`` received an update from ``w``."""
-
-    def release_rcvd(self, node: "LeaseNode", w: int) -> None:
-        """``node`` received a release from ``w``."""
-
-    # ------------------------------------------------------------- decisions
-    def set_lease(self, node: "LeaseNode", w: int) -> bool:
-        """Grant a lease to ``w`` alongside the response being sent?"""
-        return False
-
-    def break_lease(self, node: "LeaseNode", v: int) -> bool:
-        """Break the lease ``node`` holds from ``v`` (send a release)?"""
-        return False
-
-    def release_policy(self, node: "LeaseNode", v: int) -> None:
-        """Retroactive accounting for neighbor ``v`` inside ``onrelease``,
-        after ``node.uaw[v]`` was trimmed to the relevant window."""
-
-    def on_scoped_combine(self, node: "LeaseNode", v: int) -> None:
-        """A scoped combine toward neighbor ``v`` was initiated at ``node``
-        (extension; see :meth:`LeaseNode.begin_scoped_combine`).  The
-        default treats it as combine-side activity for that one edge only.
-        """
-
-    # -------------------------------------------- dynamic-tree extension
-    def neighbor_attached(self, node: "LeaseNode", v: int) -> None:
-        """A new neighbor ``v`` appeared (dynamic trees).  Policies with
-        per-neighbor state should create a fresh entry; state for other
-        neighbors must be preserved."""
-
-    def neighbor_detached(self, node: "LeaseNode", v: int) -> None:
-        """Neighbor ``v`` left (dynamic trees); drop its entry."""
+__all__ = ["LeasePolicy"]

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Dict
 
-from repro.core.policy import LeasePolicy
+from repro.core.policies import LeasePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.mechanism import LeaseNode

@@ -1,0 +1,388 @@
+"""The shared node-runtime every execution engine drives.
+
+Historically each engine (sequential, concurrent, multi-attribute,
+dynamic) re-implemented the same plumbing: build a transport, wire a
+per-node ``send`` callback, dispatch received messages to
+``LeaseNode.on_message``, thread the telemetry objects through, record
+:class:`~repro.obs.spans.RequestSpan` bookkeeping, and assert the
+quiescent-state lemmas.  :class:`NodeRuntime` owns all of that exactly
+once; the engines are thin *drivers* deciding only **when** requests are
+initiated (run-to-quiescence vs. scheduled virtual times) and **what**
+extra semantics ride along (batching accounting, topology changes).
+
+The layering (see DESIGN.md):
+
+.. code-block:: text
+
+    driver       AggregationSystem | ConcurrentAggregationSystem
+                 | MultiAttributeSystem | DynamicAggregationSystem
+    runtime      NodeRuntime  (node map + Router, span/metrics hooks,
+                 quiescence checking)
+    policy       LeasePolicy (RWW, (a,b), ...)   [inside each LeaseNode]
+    transport    build_transport(TransportConfig):
+                 SynchronousNetwork | Network -> FaultyNetwork
+                 -> ReliableNetwork
+    telemetry    TraceLog / MetricsRegistry / RequestSpan  (threaded
+                 through every layer above)
+
+Because the runtime builds its transport from a declarative
+:class:`~repro.sim.transport.TransportConfig`, *any* engine composes with
+*any* stack: multi-attribute batching over the concurrent model, dynamic
+attach/detach over a faulty-but-healed wire, and so on — combinations the
+bespoke wiring paths could not express.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.mechanism import LeaseNode
+from repro.core.policies import LeasePolicy, RWWPolicy
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsBridge, MetricsRegistry
+from repro.obs.monitors import expected_probe_edges
+from repro.obs.spans import RequestSpan, probe_fanout_from_events
+from repro.ops.monoid import AggregationOperator
+from repro.ops.standard import SUM
+from repro.sim.scheduler import Simulator
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceLog
+from repro.sim.transport import Transport, TransportConfig, build_transport
+from repro.tree.topology import Tree
+from repro.workloads.requests import COMBINE, WRITE, Request
+
+#: Builds a fresh policy instance for one node.
+PolicyFactory = Callable[[], LeasePolicy]
+
+#: ``node`` value of engine-level trace events (``quiescent``) that do not
+#: belong to any single node.
+SYSTEM_NODE = -1
+
+
+class Router:
+    """The node map and receive-side dispatch.
+
+    One instance per runtime: the transport's ``receiver`` callback is
+    :meth:`route`, which looks up the destination node and hands the
+    message to its automaton.  Topology changes go through
+    :meth:`add` / :meth:`remove` / :meth:`rename`.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, LeaseNode] = {}
+
+    def route(self, src: int, dst: int, message: Any) -> None:
+        """Deliver ``message`` (sent by ``src``) to node ``dst``."""
+        self.nodes[dst].on_message(src, message)
+
+    def add(self, node: LeaseNode) -> LeaseNode:
+        self.nodes[node.id] = node
+        return node
+
+    def remove(self, node_id: int) -> LeaseNode:
+        return self.nodes.pop(node_id)
+
+    def rename(self, old: int, new: int) -> LeaseNode:
+        """Re-key node ``old`` as ``new`` (dense-id compaction)."""
+        node = self.nodes.pop(old)
+        node.id = new
+        self.nodes[new] = node
+        return node
+
+    def __getitem__(self, node_id: int) -> LeaseNode:
+        return self.nodes[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class NodeRuntime:
+    """Everything the engines share: nodes, transport, telemetry, lemmas.
+
+    Parameters
+    ----------
+    tree:
+        The aggregation tree.
+    op:
+        The aggregation operator (default: :data:`~repro.ops.standard.SUM`).
+    policy_factory:
+        Zero-argument callable producing a fresh policy per node.
+    transport:
+        Declarative transport-stack description (default: the synchronous
+        FIFO queue of the sequential model).
+    ghost:
+        Enable Section-5 ghost logs on every node.
+    trace_enabled:
+        Record structured trace events (also feeds the metrics bridge).
+    metrics:
+        Share an existing registry (default: a fresh one).
+    trace_max_events:
+        Ring-buffer cap for the trace (default unbounded).
+    seed:
+        Engine seed; the transport inherits it unless its config pins one.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        op: AggregationOperator = SUM,
+        policy_factory: PolicyFactory = RWWPolicy,
+        transport: Optional[TransportConfig] = None,
+        *,
+        ghost: bool = False,
+        trace_enabled: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_max_events: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.tree = tree
+        self.op = op
+        self.policy_factory = policy_factory
+        self.config = transport if transport is not None else TransportConfig()
+        self.trace = TraceLog(enabled=trace_enabled, max_events=trace_max_events)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: List[RequestSpan] = []
+        if trace_enabled:
+            self.trace.subscribe(MetricsBridge(self.metrics))
+        self.stats = MessageStats()
+        self.sim: Optional[Simulator] = Simulator() if self.config.needs_sim else None
+        self.router = Router()
+        self.network: Transport = build_transport(
+            self.config,
+            tree,
+            receiver=self.router.route,
+            sim=self.sim,
+            seed=seed,
+            stats=self.stats,
+            trace=self.trace,
+            metrics=self.metrics,
+        )
+        self._ghost = ghost
+        self._clock = (lambda: self.sim.now) if self.sim is not None else None
+        for i in tree.nodes():
+            self.router.add(self._make_node(i, tree))
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def nodes(self) -> Dict[int, LeaseNode]:
+        """node id -> :class:`LeaseNode` (the router's map)."""
+        return self.router.nodes
+
+    def _make_node(self, node_id: int, tree: Tree) -> LeaseNode:
+        return LeaseNode(
+            node_id,
+            tree,
+            self.op,
+            self.policy_factory(),
+            send=partial(self.network.send, node_id),
+            trace=self.trace,
+            ghost=self._ghost,
+            clock=self._clock,
+        )
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current virtual time (0.0 under the synchronous transport)."""
+        return self.sim.now if self.sim is not None else 0.0
+
+    def drain(self) -> None:
+        """Run the transport to quiescence.
+
+        Synchronous stacks drain their FIFO queue; simulated stacks run
+        the event heap dry (delivering messages, retransmissions and
+        timers alike).
+        """
+        if self.sim is not None:
+            self.sim.run()
+        else:
+            self.network.run_to_quiescence()
+
+    def is_quiescent(self) -> bool:
+        return self.network.is_quiescent()
+
+    # -------------------------------------------------------------- telemetry
+    def emit_request_begin(
+        self, req_id: int, request: Request, overlapped: bool = False
+    ) -> None:
+        """Emit the ``write_begin`` / ``combine_begin`` event for a request.
+
+        Unscoped combines initiated at quiescence are stamped with the
+        expected probe frontier (Lemma 3.3) so the live monitors can
+        check the fan-out; overlapped initiations skip the stamp (the
+        frontier is only defined in quiescent states).
+        """
+        if request.op == WRITE:
+            self.trace.emit(self.now, "write_begin", request.node, req=req_id)
+        elif request.op == COMBINE and self.trace.enabled:
+            detail: Dict[str, Any] = {"req": req_id}
+            if request.scope is not None:
+                detail["scope"] = request.scope
+            elif not overlapped:
+                detail["expected_probes"] = [
+                    list(e)
+                    for e in sorted(expected_probe_edges(self.nodes, request.node))
+                ]
+            self.trace.emit(self.now, "combine_begin", request.node, **detail)
+
+    def observe_span(self, span: RequestSpan) -> None:
+        """Record one completed span: spans list, metrics, trace event.
+
+        The trace detail is built by
+        :meth:`~repro.obs.spans.RequestSpan.to_event_detail`, which
+        excludes the redundant ``node`` field without mutating any dict a
+        caller might also hold (the event's own ``node`` field carries it).
+        """
+        self.spans.append(span)
+        self.metrics.counter("requests_total", node=span.node, op=span.op).inc()
+        self.metrics.histogram("messages_per_request", op=span.op).observe(span.messages)
+        if span.op == COMBINE:
+            self.metrics.histogram("combine_latency", buckets=LATENCY_BUCKETS).observe(
+                span.duration
+            )
+            if span.failure is not None:
+                self.metrics.counter(
+                    "request_failures_total", node=span.node, kind=span.failure
+                ).inc()
+        self.trace.emit(span.end, "span", span.node, **span.to_event_detail())
+
+    def finish_span(
+        self,
+        req_id: int,
+        request: Request,
+        *,
+        start: float,
+        end: float,
+        m0: int,
+        mark: Optional[int] = None,
+        overlapped: bool = False,
+        failure: Optional[str] = None,
+    ) -> RequestSpan:
+        """Build and record the span of a finished request.
+
+        ``m0`` is the goodput total at initiation (message attribution is
+        exact only when the request ran alone — ``overlapped`` flags the
+        rest); ``mark`` is the trace cursor at initiation, used to recover
+        the probe fan-out of non-overlapped combines.
+        """
+        fanout = ()
+        if (
+            self.trace.enabled
+            and request.op == COMBINE
+            and not overlapped
+            and failure is None
+            and mark is not None
+        ):
+            fanout = probe_fanout_from_events(self.trace.since(mark))
+        span = RequestSpan(
+            req=req_id,
+            node=request.node,
+            op=request.op,
+            start=start,
+            end=end,
+            messages=self.stats.total - m0,
+            probe_fanout=fanout,
+            scope=request.scope,
+            value=request.retval if request.op == COMBINE else request.arg,
+            failure=failure,
+            overlapped=overlapped,
+        )
+        self.observe_span(span)
+        return span
+
+    def emit_quiescent(self) -> None:
+        """Emit the engine-level ``quiescent`` event (monitors hook on it)."""
+        self.trace.emit(self.now, "quiescent", SYSTEM_NODE)
+
+    # ------------------------------------------------------------- topology
+    def set_topology(self, tree: Tree) -> None:
+        """Swap the tree under the runtime (dynamic engines, at quiescence).
+
+        Re-keys the transport's per-edge state and repoints every node's
+        topology reference.  Neighbor-set and per-neighbor protocol state
+        changes are the caller's job (via
+        :meth:`LeaseNode.attach_neighbor` / ``detach_neighbor`` /
+        ``rename_neighbor``) — they are protocol decisions, not plumbing.
+        """
+        self.tree = tree
+        self.network.set_topology(tree)
+        for node in self.router.nodes.values():
+            node.tree = tree
+
+    def add_node(self, node_id: int, tree: Optional[Tree] = None) -> LeaseNode:
+        """Create and register a fresh node (dynamic attach)."""
+        return self.router.add(self._make_node(node_id, tree if tree is not None else self.tree))
+
+    def remove_node(self, node_id: int) -> LeaseNode:
+        """Unregister a node (dynamic detach)."""
+        return self.router.remove(node_id)
+
+    def rename_node(self, old: int, new: int) -> LeaseNode:
+        """Re-key a node and rebind its precomputed send callables."""
+        node = self.router.rename(old, new)
+        node.rebind_send(partial(self.network.send, new))
+        return node
+
+    # ------------------------------------------------------------ invariants
+    def check_quiescent_invariants(self) -> None:
+        """Assert the paper's quiescent-state lemmas on the current state."""
+        check_quiescent_invariants(self.tree, self.nodes, self.network)
+
+    def lease_graph_edges(self) -> List[tuple]:
+        """Directed edges (u, v) with ``u.granted[v]`` — the lease graph
+        G(Q) of Section 3.2 for the current quiescent state."""
+        return [
+            (u, v)
+            for u in self.tree.nodes()
+            for v in self.nodes[u].nbrs
+            if self.nodes[u].granted[v]
+        ]
+
+
+def check_quiescent_invariants(tree: Tree, nodes: Dict[int, LeaseNode], network) -> None:
+    """Assert the paper's quiescent-state lemmas (3.1, 3.2, 3.4) plus
+    transport quiescence for any engine's current state.
+
+    Shared by every engine — the lemmas hold in every quiescent state
+    regardless of execution model, and (with the reliability layer) must
+    be restored at drain even after channel faults.
+
+    * Lemma 3.1: ``u.taken[v] == v.granted[u]`` for every edge.
+    * Lemma 3.2: ``u.granted[v]`` implies ``u.taken[w]`` for all other
+      neighbors ``w``.
+    * Lemma 3.4: every ``pndg`` and ``snt`` is empty.
+    * Transport quiescence: no message in transit.
+    """
+    if not network.is_quiescent():
+        raise AssertionError("network not quiescent: messages in transit")
+    for u, v in tree.directed_edges():
+        nu, nv = nodes[u], nodes[v]
+        if nu.taken[v] != nv.granted[u]:
+            raise AssertionError(
+                f"Lemma 3.1 violated on edge ({u},{v}): "
+                f"{u}.taken[{v}]={nu.taken[v]} but {v}.granted[{u}]={nv.granted[u]}"
+            )
+    for u in tree.nodes():
+        nu = nodes[u]
+        for v in nu.nbrs:
+            if nu.granted[v]:
+                for w in nu.nbrs:
+                    if w != v and not nu.taken[w]:
+                        raise AssertionError(
+                            f"Lemma 3.2 violated at {u}: granted[{v}] "
+                            f"but taken[{w}] is false"
+                        )
+        if not nu.quiescent_state_ok():
+            raise AssertionError(f"Lemma 3.4 violated at {u}: pndg/snt not empty")
+
+
+__all__ = [
+    "NodeRuntime",
+    "Router",
+    "PolicyFactory",
+    "SYSTEM_NODE",
+    "check_quiescent_invariants",
+]

@@ -1,91 +1,14 @@
-"""RWW — the paper's online lease policy (Section 4, Figure 3).
+"""Deprecated alias of :mod:`repro.core.policies`.
 
-RWW ("Read, Write, Write") sets the lease from ``u`` to ``v`` during the
-execution of a combine request in ``subtree(v, u)``, and breaks it after two
-consecutive write requests in ``subtree(u, v)`` — a ``(1, 2)``-algorithm
-(Corollary 4.1).
-
-Figure 3's policy table (reconstructed from Sections 4.1–4.2 and the
-invariant ``I4`` of Lemma 4.2; the figure image is absent from the text):
-
-==================  =======================================================
-``oncombine``       for each taken neighbor ``v``: ``lt[v] := 2``
-``probercvd(w)``    for each taken neighbor ``v != w``: ``lt[v] := 2``
-``responsercvd``    if the lease was granted (``flag``): ``lt[w] := 2``
-``updatercvd(w)``   if no *other* lease is granted: ``lt[w] -= 1``
-``releasercvd``     no action
-``setlease``        always **true**
-``breaklease(v)``   true iff ``lt[v] == 0``
-``releasepolicy``   ``lt[v] := lt[v] - |uaw[v]|`` (retroactive accounting)
-==================  =======================================================
-
-``lt[v]`` is the *lease timer*: the number of further writes the lease from
-``v`` survives.  While this node is itself a relay (some other neighbor holds
-a granted lease), updates are forwarded without decrementing ``lt`` — the
-downstream lease still needs them — and the ids pile up in ``uaw[v]``.  When
-the downstream lease goes away, ``onrelease`` trims ``uaw[v]`` to the last
-two relevant updates and ``releasepolicy`` charges them against ``lt[v]``,
-restoring the invariant ``lt[v] + |uaw[v]| = 2`` (Lemma 4.2's ``I4``).
+The RWW policy now lives alongside the rest of the policy family in
+``repro.core.policies``.  This shim re-exports :class:`RWWPolicy` and
+:data:`RWW_BREAK_AFTER` so existing ``from repro.core.rww import ...``
+imports keep working for one release; update imports to
+``repro.core.policies``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from repro.core.policies import RWW_BREAK_AFTER, RWWPolicy
 
-from repro.core.policy import LeasePolicy
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.mechanism import LeaseNode
-
-#: The lease timer's reset value: RWW tolerates this many consecutive writes.
-RWW_BREAK_AFTER = 2
-
-
-class RWWPolicy(LeasePolicy):
-    """The RWW policy: grant on first combine, break after two writes."""
-
-    def __init__(self) -> None:
-        self.lt: Dict[int, int] = {}
-
-    def bind(self, node: "LeaseNode") -> None:
-        self.lt = {v: 0 for v in node.nbrs}
-
-    # ------------------------------------------------------- event callbacks
-    def on_combine(self, node: "LeaseNode") -> None:
-        for v in node.tkn():
-            self.lt[v] = RWW_BREAK_AFTER
-
-    def probe_rcvd(self, node: "LeaseNode", w: int) -> None:
-        for v in node.tkn():
-            if v != w:
-                self.lt[v] = RWW_BREAK_AFTER
-
-    def response_rcvd(self, node: "LeaseNode", flag: bool, w: int) -> None:
-        if flag:
-            self.lt[w] = RWW_BREAK_AFTER
-
-    def update_rcvd(self, node: "LeaseNode", w: int) -> None:
-        if node.isgoodforrelease(w):
-            self.lt[w] -= 1
-
-    # ------------------------------------------------------------- decisions
-    def set_lease(self, node: "LeaseNode", w: int) -> bool:
-        return True
-
-    def break_lease(self, node: "LeaseNode", v: int) -> bool:
-        return self.lt[v] <= 0
-
-    def release_policy(self, node: "LeaseNode", v: int) -> None:
-        self.lt[v] = self.lt[v] - len(node.uaw[v])
-
-    def on_scoped_combine(self, node: "LeaseNode", v: int) -> None:
-        # A scoped read refreshes only the one lease it uses.
-        if node.taken[v]:
-            self.lt[v] = RWW_BREAK_AFTER
-
-    # -------------------------------------------- dynamic-tree extension
-    def neighbor_attached(self, node: "LeaseNode", v: int) -> None:
-        self.lt[v] = 0
-
-    def neighbor_detached(self, node: "LeaseNode", v: int) -> None:
-        self.lt.pop(v, None)
+__all__ = ["RWWPolicy", "RWW_BREAK_AFTER"]

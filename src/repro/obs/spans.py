@@ -106,6 +106,17 @@ class RequestSpan:
             out["overlapped"] = True
         return out
 
+    def to_event_detail(self) -> Dict[str, Any]:
+        """The span as ``"span"``-event detail: :meth:`to_dict` minus the
+        ``node`` key (the event's own ``node`` field carries it).
+
+        Built fresh rather than popping from a :meth:`to_dict` result so
+        callers holding that dict never see it mutated (the historical
+        double-accounting risk when one rendering fed both the trace and
+        an exporter).
+        """
+        return {k: v for k, v in self.to_dict().items() if k != "node"}
+
 
 def probe_fanout_from_events(events: List[Any]) -> Tuple[Edge, ...]:
     """Directed edges that carried probes in a window of trace events.

@@ -22,14 +22,15 @@ events for debugging and for the consistency checkers.
 from repro.sim.events import Event, EventQueue
 from repro.sim.scheduler import Simulator, Timer
 from repro.sim.channel import FifoChannel, LatencyModel, constant_latency, uniform_latency
-from repro.sim.network import Network
+from repro.sim.network import Network, SynchronousNetwork
+from repro.sim.faults import FaultLog, FaultPlan, FaultyNetwork
 from repro.sim.reliability import (
     DeliveryFailure,
     ReliabilityConfig,
     ReliabilitySummary,
     ReliableNetwork,
-    reliable_concurrent_system,
 )
+from repro.sim.transport import Transport, TransportConfig, build_transport
 from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceEvent, TraceLog
 
@@ -43,11 +44,17 @@ __all__ = [
     "constant_latency",
     "uniform_latency",
     "Network",
+    "SynchronousNetwork",
+    "FaultLog",
+    "FaultPlan",
+    "FaultyNetwork",
     "DeliveryFailure",
     "ReliabilityConfig",
     "ReliabilitySummary",
     "ReliableNetwork",
-    "reliable_concurrent_system",
+    "Transport",
+    "TransportConfig",
+    "build_transport",
     "MessageStats",
     "TraceEvent",
     "TraceLog",

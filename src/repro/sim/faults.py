@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.channel import LatencyModel, constant_latency
@@ -118,11 +119,11 @@ class FaultyNetwork:
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.faults = FaultLog()
         self._latency = latency if latency is not None else constant_latency(1.0)
-        master = random.Random(seed)
+        self._master_rng = random.Random(seed)
         self._lat_rng: Dict[Tuple[int, int], random.Random] = {}
         self._last_delivery: Dict[Tuple[int, int], float] = {}
         for edge in tree.directed_edges():
-            self._lat_rng[edge] = random.Random(master.getrandbits(64))
+            self._lat_rng[edge] = random.Random(self._master_rng.getrandbits(64))
             self._last_delivery[edge] = 0.0
         self._fault_rng = random.Random(plan.seed)
         self._in_flight = 0
@@ -178,104 +179,28 @@ class FaultyNetwork:
     def is_quiescent(self) -> bool:
         return self._in_flight == 0
 
+    def sender(self, src: int, dst: int):
+        """A precomputed send callable for the directed edge ``src -> dst``."""
+        if (src, dst) not in self._lat_rng:
+            raise ValueError(f"({src}, {dst}) is not a tree edge")
+        return partial(self.send, src, dst)
 
-def faulty_concurrent_system(
-    tree: Tree,
-    plan: FaultPlan,
-    op=None,
-    policy_factory=None,
-    latency: Optional[LatencyModel] = None,
-    seed: int = 0,
-    ghost: bool = True,
-    reliability=None,
-    trace_enabled: bool = False,
-):
-    """A :class:`~repro.core.engine.ConcurrentAggregationSystem` whose
-    transport is lossy.
+    def set_topology(self, tree: Tree) -> None:
+        """Swap the tree under the transport (dynamic attach/detach/rename).
 
-    With ``reliability=None`` (the raw fault-injection mode) the transport
-    is a bare :class:`FaultyNetwork`: combines that lose their probe or
-    response messages never complete — run with :func:`run_with_faults`,
-    which tolerates and marks the hung requests.
+        New directed edges get latency RNG streams derived from the
+        continuing master stream (existing edges keep theirs); per-edge
+        state for removed edges is dropped.  Must be called at quiescence.
+        """
+        if not self.is_quiescent():
+            raise RuntimeError("cannot change topology with messages in flight")
+        self.tree = tree
+        wanted = set(tree.directed_edges())
+        for edge in [e for e in self._lat_rng if e not in wanted]:
+            del self._lat_rng[edge]
+            del self._last_delivery[edge]
+        for edge in tree.directed_edges():
+            if edge not in self._lat_rng:
+                self._lat_rng[edge] = random.Random(self._master_rng.getrandbits(64))
+                self._last_delivery[edge] = 0.0
 
-    With ``reliability=ReliabilityConfig(...)`` the lossy wire is wrapped in
-    a :class:`~repro.sim.reliability.ReliableNetwork`, restoring the paper's
-    reliable-FIFO contract end-to-end; the system can then be driven with
-    the ordinary :meth:`~repro.core.engine.ConcurrentAggregationSystem.run`.
-    Either way ``system.network.faults`` holds the injected-fault log.
-    """
-    from repro.core.engine import ConcurrentAggregationSystem
-    from repro.core.rww import RWWPolicy
-    from repro.ops.standard import SUM
-
-    system = ConcurrentAggregationSystem(
-        tree,
-        op=op if op is not None else SUM,
-        policy_factory=policy_factory if policy_factory is not None else RWWPolicy,
-        latency=latency,
-        seed=seed,
-        ghost=ghost,
-        trace_enabled=trace_enabled,
-    )
-    # Swap the transport for the lossy one, re-binding the stats object so
-    # system.stats keeps working.
-    if reliability is None:
-        system.network = FaultyNetwork(
-            tree,
-            system.sim,
-            receiver=system._receive,
-            plan=plan,
-            latency=latency,
-            seed=seed + 1,
-            stats=system.stats,
-            trace=system.trace,
-        )
-    else:
-        from repro.sim.reliability import ReliableNetwork
-
-        system.reliability = reliability
-        system.network = ReliableNetwork(
-            tree,
-            system.sim,
-            receiver=system._receive,
-            config=reliability,
-            plan=plan,
-            latency=latency,
-            seed=seed + 1,
-            stats=system.stats,
-            trace=system.trace,
-            metrics=system.metrics,
-        )
-    return system
-
-
-def run_with_faults(system, schedule):
-    """Run a faulty system to network drain, tolerating hung combines.
-
-    Returns ``(result, hung)`` where ``hung`` is the list of combine
-    requests that never completed.  Each is explicitly marked
-    ``q.failed = True`` so a hung combine is never mistaken for one that
-    legitimately returned ``None`` (they also keep ``q.index == -1``).
-    """
-    for item in schedule:
-        system.sim.schedule_at(item.time, lambda q=item.request: system._initiate(q))
-    system.sim.run()
-    from repro.core.engine import COMBINE, ExecutionResult
-
-    hung = [q for q in system.executed if q.op == COMBINE and q.index < 0 and not q.failed]
-    for q in hung:
-        q.failed = True
-    for req_id in list(system._open_spans):
-        system._close_span(req_id, failure="hung")
-    system._outstanding = 0
-
-    result = ExecutionResult(
-        requests=list(system.executed),
-        stats=system.stats,
-        trace=system.trace,
-        nodes=system.nodes,
-        tree=system.tree,
-        spans=list(system.spans),
-        metrics=system.metrics,
-    )
-    return result, hung

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from functools import partial
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.sim.channel import FifoChannel, LatencyModel, constant_latency
@@ -85,6 +86,26 @@ class SynchronousNetwork:
         """True when no message is queued (Section 2's condition (2))."""
         return not self._queue
 
+    def sender(self, src: int, dst: int) -> Callable[[Any], None]:
+        """A precomputed send callable for the directed edge ``src -> dst``.
+
+        Nodes bind one of these per neighbor instead of allocating a
+        closure per send (see :class:`repro.core.mechanism.LeaseNode`).
+        """
+        if not self.tree.has_edge(src, dst):
+            raise ValueError(f"({src}, {dst}) is not a tree edge")
+        return partial(self.send, src, dst)
+
+    def set_topology(self, tree: Tree) -> None:
+        """Swap the tree under the transport (dynamic attach/detach/rename).
+
+        Must be called at quiescence — the queue carries ``(src, dst)``
+        pairs of the old topology.
+        """
+        if not self.is_quiescent():
+            raise RuntimeError("cannot change topology with messages queued")
+        self.tree = tree
+
 
 class Network:
     """Latency-ful transport: one FIFO channel per directed tree edge."""
@@ -104,21 +125,24 @@ class Network:
         self._receiver = receiver
         self.stats = stats if stats is not None else MessageStats()
         self.trace = trace if trace is not None else TraceLog(enabled=False)
-        lat = latency if latency is not None else constant_latency(1.0)
-        rng = random.Random(seed)
+        self._latency = latency if latency is not None else constant_latency(1.0)
+        self._master_rng = random.Random(seed)
         self._channels: Dict[Tuple[int, int], FifoChannel] = {}
         for u, v in tree.directed_edges():
-            # Each directed channel gets its own derived RNG stream so the
-            # latency draws on one edge never perturb another edge's stream.
-            ch_rng = random.Random(rng.getrandbits(64))
-            self._channels[(u, v)] = FifoChannel(
-                sim,
-                u,
-                v,
-                deliver=self._make_deliver(u, v),
-                latency=lat,
-                rng=ch_rng,
-            )
+            self._add_channel(u, v)
+
+    def _add_channel(self, u: int, v: int) -> None:
+        # Each directed channel gets its own derived RNG stream so the
+        # latency draws on one edge never perturb another edge's stream.
+        ch_rng = random.Random(self._master_rng.getrandbits(64))
+        self._channels[(u, v)] = FifoChannel(
+            self.sim,
+            u,
+            v,
+            deliver=self._make_deliver(u, v),
+            latency=self._latency,
+            rng=ch_rng,
+        )
 
     def _make_deliver(self, src: int, dst: int) -> Callable[[Any], None]:
         def deliver(message: Any) -> None:
@@ -145,3 +169,27 @@ class Network:
     def is_quiescent(self) -> bool:
         """True when no message is in transit."""
         return self.in_flight() == 0
+
+    def sender(self, src: int, dst: int) -> Callable[[Any], None]:
+        """A precomputed send callable for the directed edge ``src -> dst``."""
+        if (src, dst) not in self._channels:
+            raise ValueError(f"({src}, {dst}) is not a tree edge")
+        return partial(self.send, src, dst)
+
+    def set_topology(self, tree: Tree) -> None:
+        """Swap the tree under the transport (dynamic attach/detach/rename).
+
+        New directed edges get fresh channels with RNG streams derived from
+        the continuing master stream (existing edges keep their streams);
+        channels for edges no longer present are dropped.  Must be called
+        at quiescence.
+        """
+        if not self.is_quiescent():
+            raise RuntimeError("cannot change topology with messages in flight")
+        self.tree = tree
+        wanted = set(tree.directed_edges())
+        for edge in [e for e in self._channels if e not in wanted]:
+            del self._channels[edge]
+        for u, v in tree.directed_edges():
+            if (u, v) not in self._channels:
+                self._add_channel(u, v)

@@ -43,6 +43,7 @@ recovery cost visible alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.channel import LatencyModel
@@ -266,6 +267,36 @@ class ReliableNetwork:
         """
         return self.in_flight() == 0
 
+    def sender(self, src: int, dst: int):
+        """A precomputed send callable for the directed edge ``src -> dst``."""
+        if (src, dst) not in self._next_seq:
+            raise ValueError(f"({src}, {dst}) is not a tree edge")
+        return partial(self.send, src, dst)
+
+    def set_topology(self, tree: Tree) -> None:
+        """Swap the tree under the transport (dynamic attach/detach/rename).
+
+        New directed edges start fresh sequence-number state; state for
+        removed edges is dropped (and the lossy wire below is re-keyed the
+        same way).  Must be called at quiescence — nothing may be unacked.
+        """
+        if not self.is_quiescent():
+            raise RuntimeError("cannot change topology with segments unacknowledged")
+        self.tree = tree
+        wanted = set(tree.directed_edges())
+        for edge in [e for e in self._next_seq if e not in wanted]:
+            del self._next_seq[edge]
+            del self._unacked[edge]
+            del self._expected[edge]
+            del self._reorder[edge]
+        for edge in tree.directed_edges():
+            if edge not in self._next_seq:
+                self._next_seq[edge] = 0
+                self._unacked[edge] = {}
+                self._expected[edge] = 0
+                self._reorder[edge] = {}
+        self.inner.set_topology(tree)
+
     # ---------------------------------------------------------- sender side
     def _transmit(self, edge: Edge, out: _Outgoing, first: bool) -> None:
         src, dst = edge
@@ -357,32 +388,3 @@ class ReliableNetwork:
         self.stats.record_overhead(dst, src, "ack")
         self.inner.send(dst, src, Ack(cum=self._expected[edge] - 1))
 
-
-def reliable_concurrent_system(
-    tree: Tree,
-    plan: FaultPlan,
-    config: Optional[ReliabilityConfig] = None,
-    op=None,
-    policy_factory=None,
-    latency: Optional[LatencyModel] = None,
-    seed: int = 0,
-    ghost: bool = True,
-    trace_enabled: bool = False,
-):
-    """A concurrent system whose lossy transport is healed by a
-    :class:`ReliableNetwork` — shorthand for
-    :func:`repro.sim.faults.faulty_concurrent_system` with ``reliability``
-    set."""
-    from repro.sim.faults import faulty_concurrent_system
-
-    return faulty_concurrent_system(
-        tree,
-        plan,
-        op=op,
-        policy_factory=policy_factory,
-        latency=latency,
-        seed=seed,
-        ghost=ghost,
-        reliability=config if config is not None else ReliabilityConfig(),
-        trace_enabled=trace_enabled,
-    )

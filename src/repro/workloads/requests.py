@@ -50,7 +50,7 @@ class Request:
         ``subtree(scope, node)``, the subtree hanging off that neighbor.
     failed:
         True when the engine gave up on this request — a combine that hung
-        on a lossy channel (:func:`repro.sim.faults.run_with_faults`) or
+        on a lossy channel (:func:`repro.core.engine.run_with_faults`) or
         exceeded its deadline (the reliability watchdog).  Distinguishes
         "never completed" from a legitimate ``retval`` of ``None``.
     """

@@ -17,12 +17,8 @@ import pytest
 from repro import ConcurrentAggregationSystem, ScheduledRequest, path_tree, random_tree
 from repro.consistency import check_strict_consistency
 from repro.sim.channel import constant_latency
-from repro.sim.faults import (
-    FaultPlan,
-    FaultyNetwork,
-    faulty_concurrent_system,
-    run_with_faults,
-)
+from repro.core.engine import faulty_concurrent_system, run_with_faults
+from repro.sim.faults import FaultPlan, FaultyNetwork
 from repro.workloads import combine, uniform_workload, write
 from repro.workloads.requests import copy_sequence
 

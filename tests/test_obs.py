@@ -49,7 +49,8 @@ from repro.obs.monitors import (
 from repro.obs.spans import RequestSpan, probe_fanout_from_events, span_summary
 from repro.sim.channel import constant_latency
 from repro.sim.faults import FaultPlan
-from repro.sim.reliability import ReliabilityConfig, reliable_concurrent_system
+from repro.core.engine import reliable_concurrent_system
+from repro.sim.reliability import ReliabilityConfig
 from repro.sim.trace import SchemaError, TraceLog
 from repro.workloads import uniform_workload
 from repro.workloads.requests import copy_sequence
@@ -327,7 +328,7 @@ class TestMonitors:
     def test_delivery_contract_detects_raw_faulty_network(self):
         """Without the reliability layer, dropped messages break the
         contract — the monitor notices on a bare FaultyNetwork run."""
-        from repro.sim.faults import faulty_concurrent_system, run_with_faults
+        from repro.core.engine import faulty_concurrent_system, run_with_faults
 
         tree = random_tree(8, 4)
         system = faulty_concurrent_system(
@@ -459,6 +460,29 @@ class TestExport:
         back = import_jsonl(path)
         assert trace_diff(system.trace, back) == []
         # Re-export is byte-identical.
+        assert dumps_events(back) == path.read_text()
+
+    def test_span_events_roundtrip_bit_identical(self, tmp_path):
+        """Emitting a span event must not mutate the span (the historical
+        bug popped ``"node"`` out of a shared dict rendering), and the
+        exported JSONL must carry every span bit-identically."""
+        system = AggregationSystem(binary_tree(3), trace_enabled=True)
+        wl = uniform_workload(system.tree.n, 40, read_ratio=0.6, seed=3)
+        result = system.run(copy_sequence(wl))
+        for span in result.spans:
+            d = span.to_dict()
+            assert d["node"] == span.node
+            assert span.to_dict() == d  # repeated rendering is stable
+            assert "node" not in span.to_event_detail()
+            assert "node" in span.to_dict()  # detail rendering didn't mutate
+        path = tmp_path / "spans.jsonl"
+        export_jsonl(system.trace, path)
+        back = import_jsonl(path)
+        exported = [ev for ev in back if ev.kind == "span"]
+        assert len(exported) == len(result.spans)
+        for ev, span in zip(exported, result.spans):
+            assert ev.node == span.node
+            assert dict(ev.detail, node=ev.node) == span.to_dict()
         assert dumps_events(back) == path.read_text()
 
     def test_chaos_roundtrip_bit_identical(self, tmp_path):

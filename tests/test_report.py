@@ -93,7 +93,7 @@ class TestSummarize:
         from repro import ReliabilityConfig, ScheduledRequest
         from repro.sim.channel import constant_latency
         from repro.sim.faults import FaultPlan
-        from repro.sim.reliability import reliable_concurrent_system
+        from repro.core.engine import reliable_concurrent_system
 
         system = reliable_concurrent_system(
             path_tree(3),
