@@ -46,7 +46,7 @@ def mixed_cost(policy_factory):
 
 
 def run_comparison():
-    from repro.core.rww import RWWPolicy
+    from repro.core.policies import RWWPolicy
 
     rows = []
     rww_factory = lambda seed: RWWPolicy
@@ -61,7 +61,7 @@ def run_comparison():
 
 @pytest.mark.benchmark(group="ext-random")
 def test_randomized_policies(benchmark, emit):
-    from repro.core.rww import RWWPolicy
+    from repro.core.policies import RWWPolicy
 
     tree = binary_tree(3)
     wl = uniform_workload(tree.n, 300, read_ratio=0.5, seed=0)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro import AggregationSystem, two_node_tree
-from repro.core.rww import RWW_BREAK_AFTER, RWWPolicy
+from repro.core.policies import RWW_BREAK_AFTER, RWWPolicy
 from repro.util import format_table
 from repro.workloads import combine, write
 

@@ -10,6 +10,8 @@ Commands
 ``baselines``  read-ratio sweep: RWW vs the static baselines
 ``chaos``      fault-rate sweep under the reliable-delivery layer
 ``trace``      record / summarize / diff / top-edges on JSONL event traces
+``verify``     protocol verification: AST lint, small-scope model checking,
+               offline happens-before checking of recorded traces
 
 Workload traces can be saved/loaded as JSONL (``ratio --save/--load``), and
 ``trace record`` exports the full telemetry event stream the same way, so
@@ -487,6 +489,87 @@ def cmd_trace_top_edges(args) -> int:
     return 0
 
 
+def cmd_verify_lint(args) -> int:
+    from repro.verify.protolint import findings_to_json, run_lint
+
+    findings = run_lint()
+    if args.json:
+        print(findings_to_json(findings))
+    else:
+        for f in findings:
+            print(f)
+        print(f"protolint: {len(findings)} finding(s)"
+              if findings else "protolint: clean")
+    return 1 if findings else 0
+
+
+def cmd_verify_explore(args) -> int:
+    from repro.verify.explore import Explorer, default_script, parse_script
+
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    try:
+        if args.script:
+            script = parse_script(args.script)
+        else:
+            script = default_script(tree.n, args.max_ops)
+        factory, name = make_policy_factory(args.policy)
+        explorer = Explorer(
+            tree, script, policy_factory=factory, max_states=args.max_states
+        )
+    except ValueError as exc:
+        raise SystemExit(f"verify explore: {exc}")
+    result = explorer.run()
+    if args.json:
+        data = result.to_dict()
+        data["script"] = [str(s) for s in script]
+        data["policy"] = name
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"explore {args.topology}/{tree.n} nodes, policy {name}, "
+              f"script [{', '.join(str(s) for s in script)}]:")
+        print(f"  states explored:      {result.states}")
+        print(f"  transitions executed: {result.transitions}")
+        print(f"  sleep-set pruned:     {result.slept} "
+              f"(reduction ratio {result.reduction_ratio:.2%})")
+        print(f"  terminal schedules:   {result.terminals} "
+              f"({result.serial_terminals} serial)")
+        if result.truncated:
+            print(f"  TRUNCATED at {args.max_states} states — not exhaustive",
+                  file=sys.stderr)
+        for v in result.violations:
+            print(f"  VIOLATION [{v.kind}] {v.message}", file=sys.stderr)
+            print(f"    schedule: {' ; '.join(v.schedule)}", file=sys.stderr)
+        if result.ok:
+            print("  all interleavings consistent: lemmas, causal, "
+                  "strict-on-serial, no deadlock")
+    return 0 if result.ok else 1
+
+
+def cmd_verify_causal(args) -> int:
+    from repro.obs.export import import_jsonl
+    from repro.verify.causal import check_trace
+
+    try:
+        events = import_jsonl(args.trace_file)
+    except OSError as exc:
+        raise SystemExit(f"verify causal: cannot read {args.trace_file}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"verify causal: {exc}")
+    report = check_trace(events, n_nodes=args.nodes)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"{args.trace_file}: {report.events} events — "
+              f"{report.sends} sends / {report.deliveries} deliveries "
+              f"(via {report.delivery_kind!r}), {report.writes} writes, "
+              f"{report.combines_checked} combines checked")
+        for v in report.violations:
+            print(f"  VIOLATION [{v.kind}] {v.message}", file=sys.stderr)
+        if report.ok:
+            print("  exactly-once FIFO delivery and causal visibility hold")
+    return 0 if report.ok else 1
+
+
 # ------------------------------------------------------------------ parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -601,6 +684,44 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("trace_file")
     tp.add_argument("--top", type=int, default=5)
     tp.set_defaults(fn=cmd_trace_top_edges)
+
+    p = sub.add_parser("verify",
+                       help="protocol verification toolkit (see DESIGN.md)")
+    vsub = p.add_subparsers(dest="verify_command", required=True)
+
+    vp = vsub.add_parser("lint",
+                         help="AST lint: dispatch completeness, trace schemas, "
+                              "layering, deprecated shims")
+    vp.add_argument("--json", action="store_true",
+                    help="machine-readable findings (JSON array)")
+    vp.set_defaults(fn=cmd_verify_lint)
+
+    vp = vsub.add_parser("explore",
+                         help="exhaustive small-scope model checking of "
+                              "delivery interleavings")
+    vp.add_argument("--topology", default="path",
+                    choices=["path", "star", "binary", "random"])
+    vp.add_argument("--nodes", type=int, default=3)
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--max-ops", type=int, default=4,
+                    help="length of the generated request script")
+    vp.add_argument("--script",
+                    help="explicit script, e.g. 'w0=1,c2,w2=5,c0' "
+                         "(overrides --max-ops)")
+    vp.add_argument("--policy", default="rww",
+                    help="rww | always | never | ab:a,b")
+    vp.add_argument("--max-states", type=int, default=500_000)
+    vp.add_argument("--json", action="store_true")
+    vp.set_defaults(fn=cmd_verify_explore)
+
+    vp = vsub.add_parser("causal",
+                         help="offline happens-before check of a recorded "
+                              "JSONL trace")
+    vp.add_argument("trace_file")
+    vp.add_argument("--nodes", type=int,
+                    help="tree size (default: inferred from the trace)")
+    vp.add_argument("--json", action="store_true")
+    vp.set_defaults(fn=cmd_verify_causal)
 
     return parser
 

@@ -5,7 +5,7 @@ ghost-augmented variant): the six guarded transitions ``T1``–``T6`` plus the
 helper procedures ``sendprobes``, ``forwardupdates``, ``sendresponse``,
 ``isgoodforrelease``, ``onrelease``, ``forwardrelease``, ``newid``, ``gval``
 and ``subval``.  Policy decisions (the underlined stubs) are delegated to a
-:class:`~repro.core.policy.LeasePolicy`.
+:class:`~repro.core.policies.LeasePolicy`.
 
 The node is transport-agnostic: it emits messages through a ``send(dst,
 message)`` callback and is driven by ``begin_combine`` / ``write`` /
@@ -41,6 +41,7 @@ from repro.core.policies import LeasePolicy
 from repro.ops.monoid import AggregationOperator
 from repro.sim.trace import TraceLog
 from repro.tree.topology import Tree
+from repro.util.canon import canonical_value
 from repro.workloads.requests import Request
 
 #: Transport callback signature: send(dst, message).
@@ -62,7 +63,7 @@ class LeaseNode:
     op:
         The aggregation operator ``⊕``.
     policy:
-        Lease set/break policy (e.g. :class:`~repro.core.rww.RWWPolicy`).
+        Lease set/break policy (e.g. :class:`~repro.core.policies.RWWPolicy`).
         Each node needs its own policy instance.
     send:
         Transport callback; must deliver reliably and FIFO per edge.
@@ -516,6 +517,52 @@ class LeaseNode:
                 d[new] = d.pop(old)
 
     # ------------------------------------------------------------ inspection
+    def state_snapshot(self) -> Tuple[Any, ...]:
+        """Canonical, hashable rendering of the node's complete protocol
+        state — every Figure-1 variable, the policy's bookkeeping, open
+        waiters, and the ghost log when enabled.
+
+        Two nodes with equal snapshots behave identically under any future
+        message schedule, which is what lets the small-scope model checker
+        (:mod:`repro.verify.explore`) dedupe explored states by hash.  The
+        rendering is deterministic (all per-neighbor tables are sorted) and
+        built from :func:`~repro.util.canon.canonical_value`.
+        """
+        policy_state = canonical_value(
+            {k: v for k, v in vars(self.policy).items() if not k.startswith("_")}
+        )
+        ghost_state = (
+            (
+                tuple(canonical_value(q) for q in self.ghost.log),
+                tuple(canonical_value(q) for q in self.ghost.wlog),
+            )
+            if self.ghost is not None
+            else None
+        )
+        return (
+            self.id,
+            canonical_value(self.val),
+            tuple(sorted((v, self.taken[v]) for v in self.nbrs)),
+            tuple(sorted((v, self.granted[v]) for v in self.nbrs)),
+            tuple(sorted((v, canonical_value(self.aval[v])) for v in self.nbrs)),
+            tuple(sorted((v, tuple(sorted(self.uaw[v]))) for v in self.nbrs)),
+            tuple(sorted(self.pndg)),
+            tuple(sorted((r, tuple(sorted(t))) for r, t in self.snt.items())),
+            self.upcntr,
+            tuple(self.sntupdates),
+            self.completed_requests,
+            tuple(canonical_value(q) for q, _ in self._waiters),
+            tuple(
+                sorted(
+                    (v, tuple(canonical_value(q) for q, _ in ws))
+                    for v, ws in self._scoped_waiters.items()
+                    if ws
+                )
+            ),
+            policy_state,
+            ghost_state,
+        )
+
     def has_pending(self) -> bool:
         """Any open probe round at this node?"""
         return bool(self.pndg) or bool(self._waiters)

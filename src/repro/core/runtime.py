@@ -34,8 +34,9 @@ bespoke wiring paths could not express.
 
 from __future__ import annotations
 
+import copy
 from functools import partial
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.core.mechanism import LeaseNode
 from repro.core.policies import LeasePolicy, RWWPolicy
@@ -123,6 +124,11 @@ class NodeRuntime:
         Ring-buffer cap for the trace (default unbounded).
     seed:
         Engine seed; the transport inherits it unless its config pins one.
+    node_cls:
+        The node-automaton class (default :class:`LeaseNode`).  Injection
+        point for instrumented or deliberately-broken subclasses — the
+        model checker's mutation tests run a faulty ``LeaseNode`` through
+        the stock runtime this way.
     """
 
     def __init__(
@@ -137,6 +143,7 @@ class NodeRuntime:
         metrics: Optional[MetricsRegistry] = None,
         trace_max_events: Optional[int] = None,
         seed: int = 0,
+        node_cls: Type[LeaseNode] = LeaseNode,
     ) -> None:
         self.tree = tree
         self.op = op
@@ -161,6 +168,7 @@ class NodeRuntime:
             metrics=self.metrics,
         )
         self._ghost = ghost
+        self.node_cls = node_cls
         self._clock = (lambda: self.sim.now) if self.sim is not None else None
         for i in tree.nodes():
             self.router.add(self._make_node(i, tree))
@@ -172,7 +180,7 @@ class NodeRuntime:
         return self.router.nodes
 
     def _make_node(self, node_id: int, tree: Tree) -> LeaseNode:
-        return LeaseNode(
+        return self.node_cls(
             node_id,
             tree,
             self.op,
@@ -203,6 +211,43 @@ class NodeRuntime:
 
     def is_quiescent(self) -> bool:
         return self.network.is_quiescent()
+
+    # ----------------------------------------------------------- verification
+    def state_snapshot(self) -> Tuple[Any, ...]:
+        """Canonical, hashable rendering of the full runtime state: every
+        node's :meth:`LeaseNode.state_snapshot` plus the in-flight message
+        queue.
+
+        Only defined for the synchronous transport (the model checker's
+        execution model) — latency-ful stacks carry scheduler state the
+        snapshot cannot see.
+        """
+        pending = getattr(self.network, "pending_snapshot", None)
+        if pending is None:
+            raise RuntimeError(
+                "state_snapshot requires a transport with pending_snapshot "
+                "(the synchronous stack)"
+            )
+        return (
+            tuple(self.nodes[i].state_snapshot() for i in sorted(self.nodes)),
+            pending(),
+        )
+
+    def fork(self) -> "NodeRuntime":
+        """An independent deep copy of this runtime — nodes, policies,
+        ghost logs and queued messages included.
+
+        The model checker forks a runtime at every branching point of the
+        delivery schedule; mutating one branch never disturbs another.
+        Bound methods and partials are deep-copied through the shared memo,
+        so the clone's nodes send into the clone's transport, and the
+        clone's transport routes into the clone's router.  Restricted to
+        synchronous stacks: a :class:`~repro.sim.scheduler.Simulator` heap
+        holds closures that do not survive a deep copy.
+        """
+        if self.sim is not None:
+            raise RuntimeError("fork requires the synchronous transport")
+        return copy.deepcopy(self)
 
     # -------------------------------------------------------------- telemetry
     def emit_request_begin(

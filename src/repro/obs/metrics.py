@@ -225,7 +225,7 @@ class MetricsRegistry:
         def render(family: Dict[Tuple[str, LabelKey], Any]) -> Dict[str, List[Dict[str, Any]]]:
             out: Dict[str, List[Dict[str, Any]]] = {}
             for (name, key), inst in sorted(family.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))):
-                entry = {"labels": self._labels_dict(key)}
+                entry: Dict[str, Any] = {"labels": self._labels_dict(key)}
                 entry.update(inst.to_dict())
                 out.setdefault(name, []).append(entry)
             return out

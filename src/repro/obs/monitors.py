@@ -159,7 +159,7 @@ class ProbeFanoutMonitor(Monitor):
     def on_event(self, ev: TraceEvent) -> None:
         if ev.kind == "combine_begin":
             expected = ev.detail.get("expected_probes")
-            entry = {
+            entry: Dict[str, Any] = {
                 "expected": None if expected is None else {tuple(e) for e in expected},
                 "probes": set(),
                 "tainted": ev.detail.get("scope") is not None or expected is None,
@@ -173,22 +173,22 @@ class ProbeFanoutMonitor(Monitor):
             for entry in self._open.values():
                 entry["probes"].add((ev.node, ev.detail["dst"]))
         elif ev.kind == "span" and ev.detail.get("op") == "combine":
-            entry = self._open.pop(ev.detail["req"], None)
-            if entry is None:
+            done = self._open.pop(ev.detail["req"], None)
+            if done is None:
                 return
-            if entry["tainted"] or ev.detail.get("overlapped"):
+            if done["tainted"] or ev.detail.get("overlapped"):
                 self.skipped += 1
                 return
             self.checked += 1
-            if entry["probes"] != entry["expected"]:
+            if done["probes"] != done["expected"]:
                 self._violate(
                     ev.time,
                     "Lemma 3.3: combine probe fan-out differs from the "
-                    f"lease-free frontier (sent {len(entry['probes'])}, "
-                    f"frontier {len(entry['expected'])})",
+                    f"lease-free frontier (sent {len(done['probes'])}, "
+                    f"frontier {len(done['expected'])})",
                     req=ev.detail["req"],
-                    sent=sorted(entry["probes"]),
-                    expected=sorted(entry["expected"]),
+                    sent=sorted(done["probes"]),
+                    expected=sorted(done["expected"]),
                 )
 
 

@@ -26,7 +26,7 @@ carry the full per-request story.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 Edge = Tuple[int, int]

@@ -19,13 +19,14 @@ from __future__ import annotations
 import random
 from collections import deque
 from functools import partial
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.sim.channel import FifoChannel, LatencyModel, constant_latency
 from repro.sim.scheduler import Simulator
 from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceLog
 from repro.tree.topology import Tree
+from repro.util.canon import canonical_value
 
 #: Receiver callback: (src, dst, message) -> None.
 Receiver = Callable[[int, int, Any], None]
@@ -85,6 +86,59 @@ class SynchronousNetwork:
     def is_quiescent(self) -> bool:
         """True when no message is queued (Section 2's condition (2))."""
         return not self._queue
+
+    # ------------------------------------------------- frontier enumeration
+    # The hooks the small-scope model checker (repro.verify.explore) drives:
+    # instead of draining the whole queue in arrival order, an explorer
+    # enumerates the directed edges with a message in flight and chooses
+    # which edge delivers next.  Delivering the *oldest* message of the
+    # chosen edge preserves per-channel FIFO, so every schedule the explorer
+    # generates is a legal execution of the paper's network model.
+
+    def pending_edges(self) -> List[Tuple[int, int]]:
+        """Directed edges with at least one queued message — the explorer's
+        delivery frontier.  Ordered by oldest queued message, deduplicated,
+        so enumeration is deterministic."""
+        seen: List[Tuple[int, int]] = []
+        for src, dst, _ in self._queue:
+            edge = (src, dst)
+            if edge not in seen:
+                seen.append(edge)
+        return seen
+
+    def deliver_next(self, src: int, dst: int) -> None:
+        """Deliver the oldest queued message on edge ``src -> dst`` only.
+
+        Messages the receiver sends in response stay queued (the explorer
+        decides their delivery order later).  Raises ``ValueError`` when the
+        edge has nothing in flight.
+        """
+        for i, (s, d, message) in enumerate(self._queue):
+            if (s, d) == (src, dst):
+                del self._queue[i]
+                kind = getattr(message, "kind", type(message).__name__.lower())
+                self.trace.emit(0.0, "recv", dst, src=src, msg=kind)
+                self._receiver(src, dst, message)
+                return
+        raise ValueError(f"no message in flight on edge ({src}, {dst})")
+
+    def pending_snapshot(self) -> Tuple[Any, ...]:
+        """Canonical, hashable rendering of the in-flight messages: per-edge
+        FIFO queues, sorted by edge.
+
+        The cross-edge interleaving of the global deque is deliberately
+        erased — under :meth:`deliver_next` future behavior depends only on
+        the per-edge queues, so two states differing only in that
+        interleaving are the same state to the explorer (this is what makes
+        deliveries to distinct nodes commute *exactly*, the independence
+        relation of the sleep-set reduction).
+        """
+        per_edge: Dict[Tuple[int, int], List[Any]] = {}
+        for src, dst, message in self._queue:
+            per_edge.setdefault((src, dst), []).append(canonical_value(message))
+        return tuple(
+            (edge, tuple(messages)) for edge, messages in sorted(per_edge.items())
+        )
 
     def sender(self, src: int, dst: int) -> Callable[[Any], None]:
         """A precomputed send callable for the directed edge ``src -> dst``.

@@ -1,6 +1,7 @@
-"""Small shared utilities: table formatting for bench output and RNG helpers."""
+"""Small shared utilities: table formatting, RNG helpers, canonical state."""
 
+from repro.util.canon import canonical_value
 from repro.util.tables import format_table
 from repro.util.seeding import spawn_seeds
 
-__all__ = ["format_table", "spawn_seeds"]
+__all__ = ["canonical_value", "format_table", "spawn_seeds"]

@@ -1,0 +1,51 @@
+"""Protocol verification toolkit: three cooperating static/dynamic analyzers.
+
+The repo's tests check the paper's lemmas on *particular* executions; this
+package checks them in three complementary, stronger ways:
+
+* :mod:`repro.verify.protolint` — a custom AST lint pass over the source
+  itself: dispatch-table completeness, trace-schema conformance of every
+  ``emit`` call site, layering rules, and deprecated-shim imports.  Runs
+  without importing (most of) the code under analysis, so it also works on
+  broken fixtures.
+* :mod:`repro.verify.explore` — a small-scope stateless model checker that
+  exhaustively enumerates message-delivery interleavings of a bounded
+  request script on a small tree (sleep-set partial-order reduction +
+  canonical state hashing), asserting the quiescent-state lemmas, causal
+  consistency, strict consistency of serial schedules, and absence of
+  deadlock at every reachable state.
+* :mod:`repro.verify.causal` — an offline vector-clock happens-before
+  checker over recorded JSONL traces (:mod:`repro.obs.export`), verifying
+  exactly-once per-edge FIFO delivery and causal visibility of writes by
+  completed combines.
+
+All three are wired into the CLI as ``python -m repro verify
+{lint,explore,causal}`` and into CI (see ``.github/workflows/ci.yml``).
+DESIGN.md ("The verification toolkit") records what each analyzer does and
+does not prove.
+"""
+
+from repro.verify.causal import CausalReport, TraceViolation, check_trace
+from repro.verify.explore import (
+    ExploreResult,
+    Explorer,
+    OpSpec,
+    Violation,
+    default_script,
+    parse_script,
+)
+from repro.verify.protolint import Finding, run_lint
+
+__all__ = [
+    "CausalReport",
+    "TraceViolation",
+    "check_trace",
+    "ExploreResult",
+    "Explorer",
+    "OpSpec",
+    "Violation",
+    "default_script",
+    "parse_script",
+    "Finding",
+    "run_lint",
+]

@@ -1,0 +1,451 @@
+"""Protocol lint: AST-level rules the type checker cannot express.
+
+The rules encode repo-specific contracts that have each been broken (or
+nearly broken) by past refactors:
+
+=======  ==============================================================
+PL000    file does not parse (reported, never crashes the linter)
+PL101    ``Message`` subclass with no ``LeaseNode._DISPATCH`` handler
+PL201    ``emit`` call site uses an event kind not in ``EVENT_SCHEMAS``
+PL202    ``emit`` call site omits a required detail field of its kind
+PL301    layering: ``sim/`` imports from ``repro.core``
+PL302    layering: ``obs/`` imports ``repro.sim`` internals (only
+         ``repro.sim.trace`` and ``repro.sim.stats`` are the published
+         surface)
+PL401    import of a deprecated shim (``repro.core.policy`` /
+         ``repro.core.rww``) instead of ``repro.core.policies``
+=======  ==============================================================
+
+Everything works on source text via :mod:`ast` — the linter never imports
+the code under analysis, so it can lint fixtures that would not survive
+import (e.g. the missing-handler fixture in the tests) and never executes
+side effects.  ``emit`` detection is heuristic by necessity: a call whose
+callee attribute is ``emit``, with at least three positional arguments of
+which the second is a string literal, is taken to be a
+:meth:`~repro.sim.trace.TraceLog.emit` site.  Call sites with a computed
+kind (e.g. the re-emit loop in ``obs/export.py``) are deliberately out of
+scope — they are validated dynamically by strict logs instead.
+
+The dynamic twins of PL101/PL201/PL202 live in ``tests/test_verify.py``:
+the lint proves the properties for every *call site*, the tests prove them
+for every *executed* event of the engines' real runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Finding", "run_lint", "findings_to_json"]
+
+#: The shims PL401 flags, and the files allowed to mention them (the shims
+#: themselves re-export from ``repro.core.policies`` for one release).
+DEPRECATED_MODULES = {"repro.core.policy", "repro.core.rww"}
+_SHIM_FILES = {("core", "policy.py"), ("core", "rww.py")}
+
+#: The only ``repro.sim`` modules ``obs/`` may import (PL302): the trace
+#: event bus and the message-count value objects.  Transports, channels and
+#: the scheduler are execution-layer internals.
+OBS_ALLOWED_SIM = {"repro.sim.trace", "repro.sim.stats"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: rule code, location, message, and a fix hint."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+    hint: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message} ({self.hint})"
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable rendering (one JSON array, stable key order)."""
+    return json.dumps([f.to_dict() for f in findings], indent=2, sort_keys=True)
+
+
+# --------------------------------------------------------------------- parsing
+def _parse(path: Path, rel: str, findings: List[Finding]) -> Optional[ast.Module]:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                code="PL000",
+                path=rel,
+                line=exc.lineno or 0,
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error",
+            )
+        )
+        return None
+
+
+def _python_files(root: Path) -> List[Path]:
+    return sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def _rel(path: Path, project_root: Optional[Path]) -> str:
+    if project_root is not None:
+        try:
+            return str(path.relative_to(project_root))
+        except ValueError:
+            pass
+    return str(path)
+
+
+# ------------------------------------------------------- PL101: dispatch table
+def _message_classes(module: ast.Module) -> Dict[str, Tuple[int, List[str]]]:
+    """name -> (lineno, base names) for every class in ``messages.py``."""
+    out: Dict[str, Tuple[int, List[str]]] = {}
+    for node in module.body:
+        if isinstance(node, ast.ClassDef):
+            bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
+            out[node.name] = (node.lineno, bases)
+    return out
+
+
+def _derives_from_message(
+    name: str, classes: Dict[str, Tuple[int, List[str]]]
+) -> bool:
+    seen: Set[str] = set()
+    frontier = [name]
+    while frontier:
+        cur = frontier.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        if cur == "Message":
+            return True
+        _, bases = classes.get(cur, (0, []))
+        frontier.extend(bases)
+    return False
+
+
+def _registered_message_names(module: ast.Module) -> Set[str]:
+    """Names used as dict keys in any ``*._DISPATCH.update({...})`` call or
+    ``_DISPATCH = {...}`` assignment of ``mechanism.py``."""
+    registered: Set[str] = set()
+
+    def keys_of(d: ast.expr) -> Iterable[str]:
+        if isinstance(d, ast.Dict):
+            for k in d.keys:
+                if isinstance(k, ast.Name):
+                    yield k.id
+                elif isinstance(k, ast.Attribute):
+                    yield k.attr
+
+    for node in ast.walk(module):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "update"
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == "_DISPATCH"
+            and node.args
+        ):
+            registered.update(keys_of(node.args[0]))
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                name = t.id if isinstance(t, ast.Name) else getattr(t, "attr", None)
+                if name == "_DISPATCH" and node.value is not None:
+                    registered.update(keys_of(node.value))
+    return registered
+
+
+def _lint_dispatch(
+    package_root: Path, project_root: Optional[Path], findings: List[Finding]
+) -> None:
+    messages_py = package_root / "core" / "messages.py"
+    mechanism_py = package_root / "core" / "mechanism.py"
+    if not messages_py.is_file() or not mechanism_py.is_file():
+        return
+    msg_mod = _parse(messages_py, _rel(messages_py, project_root), findings)
+    mech_mod = _parse(mechanism_py, _rel(mechanism_py, project_root), findings)
+    if msg_mod is None or mech_mod is None:
+        return
+    classes = _message_classes(msg_mod)
+    registered = _registered_message_names(mech_mod)
+
+    def covered(name: str) -> bool:
+        # A subclass is dispatchable when any ancestor is registered
+        # (LeaseNode._resolve_handler walks the MRO).
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            if cur in registered:
+                return True
+            _, bases = classes.get(cur, (0, []))
+            frontier.extend(bases)
+        return False
+
+    for name, (lineno, _) in sorted(classes.items()):
+        if name == "Message" or not _derives_from_message(name, classes):
+            continue
+        if not covered(name):
+            findings.append(
+                Finding(
+                    code="PL101",
+                    path=_rel(messages_py, project_root),
+                    line=lineno,
+                    message=f"message class {name} has no LeaseNode._DISPATCH handler",
+                    hint=(
+                        "register a handler for it in the _DISPATCH.update({...}) "
+                        "block at the bottom of core/mechanism.py"
+                    ),
+                )
+            )
+
+
+# -------------------------------------------------- PL201/PL202: emit schemas
+def _event_schemas_from_source(module: ast.Module) -> Optional[Dict[str, Tuple[str, ...]]]:
+    """The ``EVENT_SCHEMAS`` dict literal of ``sim/trace.py``, statically."""
+    for node in module.body:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.target.id == "EVENT_SCHEMAS":
+                value = node.value
+        elif isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "EVENT_SCHEMAS" for t in node.targets):
+                value = node.value
+        if value is None or not isinstance(value, ast.Dict):
+            continue
+        schemas: Dict[str, Tuple[str, ...]] = {}
+        for k, v in zip(value.keys, value.values):
+            if not (isinstance(k, ast.Constant) and isinstance(k.value, str)):
+                return None
+            if not isinstance(v, ast.Tuple):
+                return None
+            fields = []
+            for elt in v.elts:
+                if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                    return None
+                fields.append(elt.value)
+            schemas[k.value] = tuple(fields)
+        return schemas
+    return None
+
+
+def _lint_emit_sites(
+    package_root: Path, project_root: Optional[Path], findings: List[Finding]
+) -> None:
+    trace_py = package_root / "sim" / "trace.py"
+    if not trace_py.is_file():
+        return
+    trace_mod = _parse(trace_py, _rel(trace_py, project_root), findings)
+    if trace_mod is None:
+        return
+    schemas = _event_schemas_from_source(trace_mod)
+    if schemas is None:
+        findings.append(
+            Finding(
+                code="PL201",
+                path=_rel(trace_py, project_root),
+                line=1,
+                message="EVENT_SCHEMAS is not a literal {str: (str, ...)} dict",
+                hint="keep EVENT_SCHEMAS statically analyzable",
+            )
+        )
+        return
+    for path in _python_files(package_root):
+        rel = _rel(path, project_root)
+        module = _parse(path, rel, findings)
+        if module is None:
+            continue
+        for node in ast.walk(module):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and len(node.args) >= 3
+            ):
+                continue
+            kind_arg = node.args[1]
+            if not (isinstance(kind_arg, ast.Constant) and isinstance(kind_arg.value, str)):
+                continue  # computed kind: strict TraceLogs validate at runtime
+            kind = kind_arg.value
+            required = schemas.get(kind)
+            if required is None:
+                findings.append(
+                    Finding(
+                        code="PL201",
+                        path=rel,
+                        line=node.lineno,
+                        message=f"emit of unknown trace event kind {kind!r}",
+                        hint="add the kind to EVENT_SCHEMAS in sim/trace.py "
+                        "or fix the call site",
+                    )
+                )
+                continue
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **splat: field set unknowable statically
+            present = {kw.arg for kw in node.keywords}
+            missing = [f for f in required if f not in present]
+            if missing:
+                findings.append(
+                    Finding(
+                        code="PL202",
+                        path=rel,
+                        line=node.lineno,
+                        message=(
+                            f"emit of {kind!r} missing required detail "
+                            f"field(s) {missing}"
+                        ),
+                        hint=f"EVENT_SCHEMAS[{kind!r}] requires {list(required)}",
+                    )
+                )
+
+
+# ----------------------------------------------------- PL301/PL302: layering
+def _imported_modules(module: ast.Module) -> List[Tuple[int, str, Optional[str]]]:
+    """(lineno, module, imported name or None) for every import statement."""
+    out: List[Tuple[int, str, Optional[str]]] = []
+    for node in ast.walk(module):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.append((node.lineno, alias.name, None))
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                out.append((node.lineno, node.module, alias.name))
+    return out
+
+
+def _lint_layering(
+    package_root: Path, project_root: Optional[Path], findings: List[Finding]
+) -> None:
+    sim_root = package_root / "sim"
+    if sim_root.is_dir():
+        for path in _python_files(sim_root):
+            rel = _rel(path, project_root)
+            module = _parse(path, rel, findings)
+            if module is None:
+                continue
+            for lineno, mod, name in _imported_modules(module):
+                full = f"{mod}.{name}" if name else mod
+                if mod.startswith("repro.core") or full.startswith("repro.core."):
+                    findings.append(
+                        Finding(
+                            code="PL301",
+                            path=rel,
+                            line=lineno,
+                            message=f"sim/ imports {full} (transport layer must "
+                            "not depend on the mechanism layer)",
+                            hint="invert the dependency: core/ drives sim/, "
+                            "never the reverse",
+                        )
+                    )
+    obs_root = package_root / "obs"
+    if obs_root.is_dir():
+        for path in _python_files(obs_root):
+            rel = _rel(path, project_root)
+            module = _parse(path, rel, findings)
+            if module is None:
+                continue
+            for lineno, mod, name in _imported_modules(module):
+                # Resolve to the module actually referenced: `from
+                # repro.sim import transport` names repro.sim.transport.
+                target = f"{mod}.{name}" if (mod == "repro.sim" and name) else mod
+                if not (target == "repro.sim" or target.startswith("repro.sim.")):
+                    continue
+                if any(
+                    target == a or target.startswith(a + ".") for a in OBS_ALLOWED_SIM
+                ):
+                    continue
+                findings.append(
+                    Finding(
+                        code="PL302",
+                        path=rel,
+                        line=lineno,
+                        message=f"obs/ imports sim internal {target}",
+                        hint="obs/ may only use repro.sim.trace and "
+                        "repro.sim.stats; anything else belongs behind "
+                        "the runtime",
+                    )
+                )
+
+
+# ------------------------------------------------- PL401: deprecated imports
+def _lint_deprecated_imports(
+    roots: List[Path], project_root: Optional[Path], findings: List[Finding]
+) -> None:
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in _python_files(root):
+            if (path.parent.name, path.name) in _SHIM_FILES:
+                continue
+            rel = _rel(path, project_root)
+            module = _parse(path, rel, findings)
+            if module is None:
+                continue
+            for lineno, mod, name in _imported_modules(module):
+                full = f"{mod}.{name}" if name else mod
+                hit = next(
+                    (
+                        d
+                        for d in sorted(DEPRECATED_MODULES)
+                        if mod == d or mod.startswith(d + ".") or full == d
+                    ),
+                    None,
+                )
+                if hit is not None:
+                    findings.append(
+                        Finding(
+                            code="PL401",
+                            path=rel,
+                            line=lineno,
+                            message=f"import of deprecated shim {hit}",
+                            hint="import from repro.core.policies instead",
+                        )
+                    )
+
+
+# ------------------------------------------------------------------- driver
+def run_lint(
+    package_root: Optional[Path] = None,
+    project_root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run every rule; returns findings sorted by (path, line, code).
+
+    ``package_root`` is the ``repro`` package directory (defaults to the
+    installed/importable one); ``project_root`` is the repo checkout whose
+    ``tests/`` and ``benchmarks/`` trees are additionally scanned for
+    deprecated-shim imports (defaults to two levels above the package, the
+    ``src`` layout).  Both are overridable so the test suite can lint
+    deliberately-broken fixture trees.
+    """
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+    package_root = Path(package_root)
+    if project_root is None:
+        candidate = package_root.parent.parent
+        if (candidate / "tests").is_dir() or (candidate / "pyproject.toml").is_file():
+            project_root = candidate
+    findings: List[Finding] = []
+    _lint_dispatch(package_root, project_root, findings)
+    _lint_emit_sites(package_root, project_root, findings)
+    _lint_layering(package_root, project_root, findings)
+    extra = [package_root]
+    if project_root is not None:
+        extra += [project_root / "tests", project_root / "benchmarks"]
+    _lint_deprecated_imports(extra, project_root, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings

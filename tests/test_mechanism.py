@@ -7,7 +7,7 @@ import pytest
 from repro import AggregationSystem, MIN, SUM
 from repro.core.messages import Probe, Release, Response, Update
 from repro.core.mechanism import LeaseNode
-from repro.core.rww import RWWPolicy
+from repro.core.policies import RWWPolicy
 from repro.tree import Tree, path_tree, star_tree, two_node_tree
 from repro.workloads import combine, write
 

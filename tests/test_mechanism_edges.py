@@ -20,7 +20,7 @@ from repro import (
 )
 from repro.core.messages import Release, Response, Update
 from repro.core.mechanism import LeaseNode
-from repro.core.rww import RWWPolicy as RWW
+from repro.core.policies import RWWPolicy as RWW
 from repro.offline.global_dp import global_offline_cost
 from repro.ops import k_smallest
 from repro.sim.channel import constant_latency

@@ -17,7 +17,7 @@ from repro import (
     random_tree,
     two_node_tree,
 )
-from repro.core.policy import LeasePolicy
+from repro.core.policies import LeasePolicy
 from repro.workloads import adv_sequence, combine, uniform_workload, write
 from repro.workloads.requests import copy_sequence
 
