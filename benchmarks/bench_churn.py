@@ -1,0 +1,185 @@
+"""CHURN — membership churn and crash-fault hardening.
+
+Drives thousands of join / crash / recover / leave events through the
+dynamic engine (:class:`~repro.core.dynamic.DynamicAggregationSystem`),
+interleaved with writes and combines, and checks consistency two ways:
+
+* **causal, from traces** — the fixed-membership phase (joins, crashes,
+  recoveries; no removals) records a full telemetry trace, and the offline
+  happens-before checker (:func:`repro.verify.causal.check_trace`) must
+  find zero violations.  Crash casualties are *declared losses* the
+  checker discounts, so any remaining violation is a real protocol bug.
+* **strict, against the oracle** — the full-churn phase additionally
+  removes leaves (with id compaction/renames, which the trace checker's
+  static write registry cannot attribute), so every combine is instead
+  checked exactly against the sequential-strictness oracle: the sum of
+  the live members' last written values.
+
+Emits ``results/BENCH_churn.json`` (archived by the CI churn smoke job)
+with event counts, message totals and both verdicts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+import pytest
+
+from repro.core.dynamic import DynamicAggregationSystem
+from repro.tree.generators import balanced_kary_tree
+from repro.util import format_table
+from repro.verify.causal import check_trace
+from repro.workloads.requests import combine, write
+
+SEED = 7
+MAX_NODES = 24
+TRACED_OPS = 1200   # fixed-membership phase (join/crash/recover)
+FULL_OPS = 2400     # full-churn phase (adds leaves/renames)
+
+
+def _pick(rng: random.Random, seq):
+    return seq[rng.randrange(len(seq))]
+
+
+def run_traced_churn(ops: int = TRACED_OPS, seed: int = SEED):
+    """Join/crash/recover churn under tracing; returns (system, counts)."""
+    system = DynamicAggregationSystem(balanced_kary_tree(2, 2), trace_enabled=True)
+    rng = random.Random(seed)
+    counts = {"join": 0, "crash": 0, "recover": 0, "write": 0, "combine": 0}
+    for i in range(ops):
+        live = sorted(system.live_nodes)
+        up = [n for n in live if n not in system.crashed_nodes]
+        roll = rng.random()
+        if roll < 0.08 and len(live) < MAX_NODES:
+            system.add_leaf(_pick(rng, up))
+            counts["join"] += 1
+        elif roll < 0.18 and len(up) > 2:
+            system.crash_node(_pick(rng, up))
+            counts["crash"] += 1
+        elif roll < 0.45 and system.crashed_nodes:
+            system.recover_node(_pick(rng, sorted(system.crashed_nodes)))
+            counts["recover"] += 1
+        elif roll < 0.78:
+            system.execute(write(_pick(rng, up), float(i)))
+            counts["write"] += 1
+        elif not system.crashed_nodes:
+            # Sequential combines need every member reachable; the
+            # concurrent engine + lease TTLs cover the crashed case
+            # (``repro chaos --churn``).
+            system.execute(combine(_pick(rng, up)))
+            counts["combine"] += 1
+    # End with everyone up so the final quiescent state is checkable.
+    for n in sorted(system.crashed_nodes):
+        system.recover_node(n)
+        counts["recover"] += 1
+    system.runtime.check_quiescent_invariants()
+    return system, counts
+
+
+def run_full_churn(ops: int = FULL_OPS, seed: int = SEED + 1):
+    """Full churn incl. leaf removals, every combine oracle-checked."""
+    system = DynamicAggregationSystem(balanced_kary_tree(2, 2))
+    rng = random.Random(seed)
+    values: Dict[int, float] = {n: 0.0 for n in system.live_nodes}
+    counts = {
+        "join": 0, "crash": 0, "recover": 0, "leave": 0,
+        "write": 0, "combine": 0, "renames": 0,
+    }
+    mismatches = 0
+    for i in range(ops):
+        live = sorted(system.live_nodes)
+        up = [n for n in live if n not in system.crashed_nodes]
+        roll = rng.random()
+        if roll < 0.12 and len(live) < MAX_NODES:
+            new = system.add_leaf(_pick(rng, up))
+            values[new] = 0.0
+            counts["join"] += 1
+        elif roll < 0.22 and len(up) > 2:
+            system.crash_node(_pick(rng, up))
+            counts["crash"] += 1
+        elif roll < 0.34 and system.crashed_nodes:
+            system.recover_node(_pick(rng, sorted(system.crashed_nodes)))
+            counts["recover"] += 1
+        elif roll < 0.46 and len(live) > 3:
+            # Dead or alive, a leaf may leave (a crashed leaf models a
+            # machine that never came back).
+            leaves = [n for n in live if len(system.tree.neighbors(n)) == 1]
+            if not leaves:
+                continue
+            victim = _pick(rng, leaves)
+            remap = system.remove_leaf(victim)
+            del values[victim]
+            for old, new in remap.items():
+                values[new] = values.pop(old)
+                counts["renames"] += 1
+            counts["leave"] += 1
+        elif roll < 0.80:
+            target = _pick(rng, up)
+            system.execute(write(target, float(i)))
+            values[target] = float(i)
+            counts["write"] += 1
+        elif not system.crashed_nodes:
+            result = system.execute(combine(_pick(rng, up)))
+            counts["combine"] += 1
+            if result.retval != sum(values.values()):
+                mismatches += 1
+    for n in sorted(system.crashed_nodes):
+        system.recover_node(n)
+        counts["recover"] += 1
+    system.runtime.check_quiescent_invariants()
+    return system, counts, mismatches
+
+
+@pytest.mark.benchmark(group="churn")
+def test_churn_hardening(benchmark, emit, emit_json):
+    system, traced_counts = run_traced_churn()
+    report = check_trace(system.trace.events(), n_nodes=len(system.live_nodes))
+    assert report.ok, [str(v) for v in report.violations]
+
+    full, full_counts, mismatches = benchmark.pedantic(
+        run_full_churn, rounds=1, iterations=1
+    )
+    assert mismatches == 0, f"{mismatches} combines diverged from the oracle"
+    fault_events = sum(
+        traced_counts.get(k, 0) + full_counts.get(k, 0)
+        for k in ("join", "crash", "recover", "leave")
+    )
+    assert fault_events > 1000, "churn volume regressed below spec"
+
+    rows = [
+        ("traced (causal-checked)",
+         traced_counts["join"], traced_counts["crash"],
+         traced_counts["recover"], 0,
+         traced_counts["write"], traced_counts["combine"],
+         f"causal ok ({report.declared_losses} declared losses)"),
+        ("full (oracle-checked)",
+         full_counts["join"], full_counts["crash"],
+         full_counts["recover"], full_counts["leave"],
+         full_counts["write"], full_counts["combine"],
+         f"strict ok ({full_counts['renames']} renames)"),
+    ]
+    text = format_table(
+        ["phase", "joins", "crashes", "recovers", "leaves", "writes",
+         "combines", "verdict"],
+        rows,
+        title=(f"CHURN — {fault_events} membership/fault events, "
+               "zero consistency violations:"),
+    )
+    emit("BENCH_churn", text)
+    emit_json("BENCH_churn", {
+        "seed": SEED,
+        "fault_events": fault_events,
+        "traced_phase": {
+            "counts": traced_counts,
+            "trace_events": report.events,
+            "declared_losses": report.declared_losses,
+            "causal_violations": len(report.violations),
+            "messages": system.stats.total,
+        },
+        "full_phase": {
+            "counts": full_counts,
+            "oracle_mismatches": mismatches,
+            "messages": full.stats.total,
+        },
+    })

@@ -25,25 +25,32 @@ from repro.baselines.base import BaselineResult
 from repro.offline.projection import READ, WRITE_TOKEN, project_all_edges
 from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
+from repro.recovery.lease_ttl import LeaseExpiry
 from repro.tree.topology import Tree
 from repro.workloads.requests import COMBINE, WRITE, Request
 
 
 def time_lease_edge_cost(tokens: Sequence[str], ttl: int) -> int:
-    """Message cost of TTL leasing on one ordered edge's token stream."""
+    """Message cost of TTL leasing on one ordered edge's token stream.
+
+    Runs :class:`~repro.recovery.lease_ttl.LeaseExpiry` — the same expiry
+    law the crash-recovery manager applies over virtual time — over the
+    *token clock*: ``now`` is the token index, so a lease renewed by the
+    read at index ``i`` survives through index ``i + ttl`` inclusive
+    (every token, noops included, ages it by one) and lapses silently.
+    """
     if ttl < 1:
         raise ValueError(f"ttl must be >= 1, got {ttl}")
-    remaining = 0  # 0 = no live lease
+    expiry = LeaseExpiry(ttl)
+    lease = "lease"  # single key: one ordered edge per call
     total = 0
-    for tok in tokens:
+    for i, tok in enumerate(tokens):
         if tok == READ:
-            if remaining <= 0:
+            if not expiry.alive(lease, i):
                 total += 2
-            remaining = ttl
-        else:
-            if tok == WRITE_TOKEN and remaining > 0:
-                total += 1
-            remaining -= 1 if remaining > 0 else 0
+            expiry.renew(lease, i)
+        elif tok == WRITE_TOKEN and expiry.alive(lease, i):
+            total += 1
     return total
 
 

@@ -300,6 +300,125 @@ def cmd_baselines(args) -> int:
     return 0
 
 
+def _cmd_chaos_churn(args) -> int:
+    """``chaos --churn``: scheduled crash/recover/partition faults plus
+    message drops, healed by the reliable layer and the recovery subsystem.
+
+    Verifies the crash-recovery acceptance bar: the run drains to
+    quiescence, every combine either completes or is failed fast (lease
+    expiry / deadline — never hung), the recorded trace is causally
+    consistent net of declared losses, and time-to-recover is reported.
+    """
+    import random as _random
+
+    from repro.core.engine import ScheduledRequest, reliable_concurrent_system
+    from repro.obs.monitors import attach_standard_monitors
+    from repro.recovery import RecoveryConfig
+    from repro.sim.channel import constant_latency
+    from repro.sim.faults import FaultPlan, crash, heal, partition, recover
+    from repro.sim.reliability import ReliabilityConfig
+    from repro.verify.causal import check_trace
+    from repro.workloads.requests import COMBINE
+
+    if not 0.0 <= args.drop_pct <= 100.0:
+        raise SystemExit(f"--drop-pct must be in [0, 100], got {args.drop_pct}")
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    wl = uniform_workload(tree.n, args.length, read_ratio=args.read_ratio,
+                          seed=args.seed)
+    horizon = args.gap * len(wl)
+    rng = _random.Random(args.seed + 11)
+    # Crash/recover cycles on distinct nodes, spread across the run.
+    cycles = min(args.churn_cycles, tree.n - 1)
+    victims = rng.sample([n for n in tree.nodes() if n != 0], cycles)
+    events = []
+    for k, node in enumerate(victims):
+        t0 = horizon * (k + 1) / (cycles + 2)
+        events.append(crash(node, t0))
+        events.append(recover(node, t0 + rng.uniform(1.0, 2.5) * args.gap))
+    # One partition epoch on a random tree edge, healed two gaps later.
+    edge = list(tree.edges)[rng.randrange(len(tree.edges))]
+    t_cut = horizon * (cycles + 1) / (cycles + 2)
+    events += [partition([edge], t_cut), heal(t_cut + 2 * args.gap)]
+    plan = FaultPlan(drop_prob=args.drop_pct / 100, seed=args.seed + 5,
+                     events=tuple(events))
+    ttl = 2.0 * args.gap
+    system = reliable_concurrent_system(
+        tree,
+        plan,
+        config=ReliabilityConfig(
+            base_timeout=6.0, backoff=1.5, max_timeout=20.0,
+            max_retries=args.max_retries, combine_deadline=3 * args.gap,
+        ),
+        latency=constant_latency(1.0),
+        seed=args.seed,
+        trace_enabled=True,
+        # Horizon: sweeps must outlive the *request* schedule, not just the
+        # fault plan — a round wedged by the last fault can form as late as
+        # the last request and needs first-seen + TTL to age into the
+        # stuck-round re-probe, plus a TTL of re-probe pacing.
+        recovery=RecoveryConfig(
+            checkpoint_interval=2 * args.gap,
+            lease_ttl=ttl,
+            horizon=horizon + 3 * ttl,
+        ),
+    )
+    monitors = attach_standard_monitors(system.trace, strict=False)
+    result = system.run([
+        ScheduledRequest(time=args.gap * i, request=q)
+        for i, q in enumerate(copy_sequence(wl))
+    ])
+    system.check_quiescent_invariants()
+    monitor_violations = _warn_violations(monitors)
+    if args.trace_out:
+        _export_trace(system.trace, args.trace_out)
+    report = check_trace(system.trace.events(), n_nodes=tree.n)
+    hung = [q for q in result.requests
+            if q.op == COMBINE and q.index < 0 and not q.failed]
+    failed = result.failed_requests()
+    mgr = system.runtime.recovery
+    ttr = mgr.recovery_durations
+    data = {
+        "seed": args.seed,
+        "plan": plan.to_dict(),
+        "recovery": {
+            "checkpoint_interval": 2 * args.gap,
+            "lease_ttl": ttl,
+            "recoveries": len(ttr),
+            "time_to_recover": ttr,
+            "checkpoints": sum(
+                1 for e in system.trace.events() if e.kind == "checkpoint"
+            ),
+        },
+        "requests": len(result.requests),
+        "failed_fast": len(failed),
+        "hung_combines": len(hung),
+        "declared_losses": report.declared_losses,
+        "causal_violations": [str(v) for v in report.violations],
+        "monitor_violations": monitor_violations,
+        "ok": (report.ok and not hung and not monitor_violations),
+    }
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"chaos --churn on {args.topology}/{tree.n} nodes, "
+              f"{args.length} requests, drop {args.drop_pct}%:")
+        print(f"  fault plan: {cycles} crash/recover cycles + 1 partition "
+              f"epoch (seed {args.seed}, full plan in --json output)")
+        print(f"  requests: {len(result.requests)} total, "
+              f"{len(failed)} failed fast, {len(hung)} hung")
+        print(f"  declared losses: {report.declared_losses}   "
+              f"causal violations: {len(report.violations)}")
+        if ttr:
+            print(f"  time-to-recover: n={len(ttr)} "
+                  f"min={min(ttr):g} median={sorted(ttr)[len(ttr) // 2]:g} "
+                  f"max={max(ttr):g}")
+        for v in report.violations:
+            print(f"  VIOLATION {v}", file=sys.stderr)
+        print("  churn run clean: zero hung combines, causally consistent"
+              if data["ok"] else "  CHURN RUN DEGRADED")
+    return 0 if data["ok"] else 1
+
+
 def cmd_chaos(args) -> int:
     from repro.consistency import check_strict_consistency
     from repro.core.engine import ConcurrentAggregationSystem, ScheduledRequest
@@ -308,6 +427,8 @@ def cmd_chaos(args) -> int:
     from repro.core.engine import reliable_concurrent_system
     from repro.sim.reliability import ReliabilityConfig
 
+    if args.churn:
+        return _cmd_chaos_churn(args)
     if args.step_pct < 1:
         raise SystemExit("--step-pct must be >= 1")
     if not 0 <= args.max_rate_pct <= 40:
@@ -331,16 +452,19 @@ def cmd_chaos(args) -> int:
         max_retries=args.max_retries, combine_deadline=args.gap,
     )
     rows = []
+    plans = []
     monitor_violations = 0
     rates = [r / 100 for r in range(0, args.max_rate_pct + 1, args.step_pct)]
     for rate in rates:
         # When exporting a trace, record the highest-rate (most eventful) run
         # and attach the lemma monitors to it in warn-only mode.
         tracing = args.trace_out is not None and rate == rates[-1]
+        plan = FaultPlan(drop_prob=rate, duplicate_prob=rate / 2,
+                         reorder_prob=rate, seed=args.seed + 5)
+        plans.append(plan)
         system = reliable_concurrent_system(
             tree,
-            FaultPlan(drop_prob=rate, duplicate_prob=rate / 2, reorder_prob=rate,
-                      seed=args.seed + 5),
+            plan,
             config=config,
             latency=constant_latency(1.0),
             seed=args.seed,
@@ -371,16 +495,35 @@ def cmd_chaos(args) -> int:
             len(result.failed_requests()),
             "ok" if not strict else f"{len(strict)} VIOLATIONS",
         ))
-    print(format_table(
-        ["fault rate", "faults", "goodput", "==ref", "retransmits", "acks",
-         "dups", "failed", "strict"],
-        rows,
-        title=(f"chaos sweep on {args.topology}/{tree.n} nodes, "
-               f"{args.length} requests (fault-free cost {ref.stats.total}):"),
-    ))
     bad = [r for r in rows if r[3] == "NO" or r[7] or r[8] != "ok"]
-    print("\nreliable layer held: goodput fault-free-identical, zero failures"
-          if not bad else f"\n{len(bad)} rate(s) showed degradation")
+    if args.json:
+        # The seed and every run's full fault plan make a failing sweep
+        # reproducible from this output alone.
+        print(json.dumps({
+            "seed": args.seed,
+            "topology": args.topology,
+            "nodes": tree.n,
+            "length": args.length,
+            "plans": [p.to_dict() for p in plans],
+            "rows": [
+                dict(zip(["fault_rate", "faults", "goodput", "matches_ref",
+                          "retransmits", "acks", "dups", "failed", "strict"],
+                         r))
+                for r in rows
+            ],
+            "monitor_violations": monitor_violations,
+            "ok": not bad and not monitor_violations,
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["fault rate", "faults", "goodput", "==ref", "retransmits", "acks",
+             "dups", "failed", "strict"],
+            rows,
+            title=(f"chaos sweep on {args.topology}/{tree.n} nodes, "
+                   f"{args.length} requests (fault-free cost {ref.stats.total}):"),
+        ))
+        print("\nreliable layer held: goodput fault-free-identical, zero failures"
+              if not bad else f"\n{len(bad)} rate(s) showed degradation")
     return 0 if not bad and not monitor_violations else 1
 
 
@@ -635,6 +778,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out",
                    help="export the highest-rate run's telemetry trace as JSONL "
                         "(lemma monitors attached; violations warn and fail)")
+    p.add_argument("--churn", action="store_true",
+                   help="scheduled crash/recover/partition faults + drops, "
+                        "healed by checkpoints and lease TTLs "
+                        "(recovery subsystem end-to-end)")
+    p.add_argument("--churn-cycles", type=int, default=4,
+                   help="churn mode: crash/recover cycles on distinct nodes")
+    p.add_argument("--drop-pct", type=float, default=5.0,
+                   help="churn mode: message drop rate in percent")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output incl. the seed and the "
+                        "full fault plan(s) for exact reproduction")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("exact-grid", help="exact ratios for the (a, b) grid")
@@ -706,8 +860,9 @@ def build_parser() -> argparse.ArgumentParser:
     vp.add_argument("--max-ops", type=int, default=4,
                     help="length of the generated request script")
     vp.add_argument("--script",
-                    help="explicit script, e.g. 'w0=1,c2,w2=5,c0' "
-                         "(overrides --max-ops)")
+                    help="explicit script, e.g. 'w0=1,c2,k1,r1,c0' "
+                         "(wN=X write, cN combine, kN crash, rN recover; "
+                         "overrides --max-ops)")
     vp.add_argument("--policy", default="rww",
                     help="rww | always | never | ab:a,b")
     vp.add_argument("--max-states", type=int, default=500_000)

@@ -129,6 +129,31 @@ class DynamicAggregationSystem(AggregationSystem):
         self.nodes[new_id].nbrs = new_tree.neighbors(new_id)
         return new_id
 
+    # --------------------------------------------------------- crash/recover
+    def crash_node(self, node: int):
+        """Crash a live member: its traffic black-holes and its volatile
+        state dies (see :meth:`NodeRuntime.crash`).  Returns the requests
+        that died with it.  The member stays in the tree — remove it with
+        :meth:`remove_leaf` (allowed while crashed) if it never comes back.
+        """
+        if node not in self._live:
+            raise ValueError(f"node {node} is not a live node")
+        return self.runtime.crash(node)
+
+    def recover_node(self, node: int) -> None:
+        """Recover a crashed member: reopen the wire and run the lease
+        reconciliation round, then drain the resulting traffic so the
+        engine returns at quiescence like every other dynamic operation."""
+        if node not in self._live:
+            raise ValueError(f"node {node} is not a live node")
+        self.runtime.recover(node)
+        self.runtime.drain()
+
+    @property
+    def crashed_nodes(self) -> Set[int]:
+        """Ids of currently-crashed members."""
+        return set(self.runtime.crashed)
+
     def remove_leaf(self, node: int) -> Dict[int, int]:
         """Retire leaf ``node``; returns the id remapping applied.
 
@@ -149,13 +174,24 @@ class DynamicAggregationSystem(AggregationSystem):
             raise RuntimeError("topology change while messages are in transit")
         parent = neighbors[0]
         # 1. The parent's grants covered the departing leaf: revoke them.
+        #    A *crashed* leaf may leave too (churn): the revoke toward it
+        #    dies on the black-holed wire as a declared loss — correct,
+        #    the machine is gone — while the cascade to live grantees runs
+        #    normally.  The crash flag is cleared before the id compaction
+        #    below so it can never dangle on the renamed survivor.
         self.nodes[parent].revoke_granted()
         self.runtime.drain()
+        if node in self.runtime.crashed:
+            self.runtime.crashed.discard(node)
+            self.runtime.network.recover_node(node)
         # 2. Drop the leaf and its edge.
         self._edges.discard(tuple(sorted((node, parent))))
         self._live.discard(node)
         self.runtime.remove_node(node)
         self.nodes[parent].detach_neighbor(node, self.tree)  # tree updated below
+        # Detaching can close a round that was stuck waiting on the departed
+        # (crashed) leaf; drain the resulting responses before compaction.
+        self.runtime.drain()
         # 3. Compact ids: rename the highest id onto the hole.
         remap: Dict[int, int] = {}
         highest = len(self._live)  # == max id value still expected

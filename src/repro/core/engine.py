@@ -276,6 +276,7 @@ class AggregationSystem(_RuntimeDriver):
         trace_max_events: Optional[int] = None,
         transport: Optional[TransportConfig] = None,
         seed: int = 0,
+        recovery: Optional[Any] = None,
     ) -> None:
         self.runtime = NodeRuntime(
             tree,
@@ -287,6 +288,7 @@ class AggregationSystem(_RuntimeDriver):
             metrics=metrics,
             trace_max_events=trace_max_events,
             seed=seed,
+            recovery=recovery,
         )
         self.executed: List[Request] = []
 
@@ -374,6 +376,7 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
         metrics: Optional[MetricsRegistry] = None,
         trace_max_events: Optional[int] = None,
         transport: Optional[TransportConfig] = None,
+        recovery: Optional[Any] = None,
     ) -> None:
         if transport is None:
             transport = TransportConfig.simulated(latency=latency, reliability=reliability)
@@ -389,12 +392,27 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
             metrics=metrics,
             trace_max_events=trace_max_events,
             seed=seed,
+            recovery=recovery,
         )
         self.reliability = transport.reliability
         self.timeouts: List[CombineTimeout] = []
         self.executed: List[Request] = []
         self._open_spans: Dict[int, Dict[str, Any]] = {}
         self._outstanding = 0
+        # A crash kills the victim node's open requests; close their spans
+        # with a structured failure cause instead of leaving them hanging.
+        self.runtime.add_failure_listener(self._on_crash_failures)
+
+    def _on_crash_failures(self, failed: List[Request]) -> None:
+        """Close the spans of combines a node crash killed (their completion
+        callbacks will never fire)."""
+        for q in failed:
+            q.failed = True
+            for req_id, info in list(self._open_spans.items()):
+                if info["request"] is q:
+                    self._close_span(req_id, failure="crash")
+                    self._outstanding -= 1
+                    break
 
     def _initiate(self, request: Request) -> None:
         rt = self.runtime
@@ -402,6 +420,21 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
         req_id = len(self.executed)
         node = rt.nodes[request.node]
         self.executed.append(request)
+        if request.node in rt.crashed:
+            # Initiating at a down node: fail fast with a structured cause
+            # (its traffic would only black-hole and hang the run).
+            request.failed = True
+            rt.emit_request_begin(req_id, request, overlapped=True)
+            rt.finish_span(
+                req_id,
+                request,
+                start=request.initiated_at,
+                end=rt.now,
+                m0=rt.stats.total,
+                overlapped=True,
+                failure="node_down",
+            )
+            return
         # A new initiation makes message attribution inexact for every span
         # still open (they now share the goodput ledger).
         for info in self._open_spans.values():
@@ -440,6 +473,8 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
             def done(_req: Request) -> None:
                 state["done"] = True
                 if not state["timed_out"]:
+                    if req_id not in self._open_spans:
+                        return  # already closed (e.g. killed by a crash)
                     if self._outstanding > 1:
                         info = self._open_spans.get(req_id)
                         if info is not None:
@@ -453,6 +488,8 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
                 def watchdog(q: Request = request) -> None:
                     if state["done"] or state["timed_out"]:
                         return
+                    if req_id not in self._open_spans:
+                        return  # already closed (e.g. killed by a crash)
                     state["timed_out"] = True
                     q.failed = True
                     self._close_span(req_id, failure="timeout")
@@ -531,6 +568,7 @@ def faulty_concurrent_system(
     ghost: bool = True,
     reliability: Optional[ReliabilityConfig] = None,
     trace_enabled: bool = False,
+    recovery: Optional[Any] = None,
 ) -> ConcurrentAggregationSystem:
     """A :class:`ConcurrentAggregationSystem` whose transport is lossy.
 
@@ -562,6 +600,7 @@ def faulty_concurrent_system(
         ghost=ghost,
         trace_enabled=trace_enabled,
         transport=config,
+        recovery=recovery,
     )
 
 
@@ -575,6 +614,7 @@ def reliable_concurrent_system(
     seed: int = 0,
     ghost: bool = True,
     trace_enabled: bool = False,
+    recovery: Optional[Any] = None,
 ) -> ConcurrentAggregationSystem:
     """A concurrent system whose lossy transport is healed by a
     :class:`~repro.sim.reliability.ReliableNetwork` — shorthand for
@@ -589,6 +629,7 @@ def reliable_concurrent_system(
         ghost=ghost,
         reliability=config if config is not None else ReliabilityConfig(),
         trace_enabled=trace_enabled,
+        recovery=recovery,
     )
 
 

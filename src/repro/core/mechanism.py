@@ -454,6 +454,17 @@ class LeaseNode:
                 self.trace.emit(self._clock(), "lease_revoked", self.id, grantee=v)
                 self.send(v, Revoke())
         self._renormalize_after_revoke()
+        # Crash-recovery healing: a revoke from ``w`` can mean ``w`` crashed
+        # and came back — any probe we sent it (or its response) may have
+        # died with it.  Re-probe once; duplicate responses are idempotent
+        # (T4 discards ``w`` from every open round on the first one).  In
+        # the paper's protocol and the dynamic engine revokes only happen
+        # at quiescence, where no round is open, so this never fires there.
+        stuck = any(w in targets for targets in self.snt.values()) or bool(
+            self._scoped_waiters.get(w)
+        )
+        if stuck:
+            self.send(w, Probe())
 
     def _renormalize_after_revoke(self) -> None:
         """Restore the policy's lease-timer bookkeeping (RWW's I4) for taken
@@ -464,6 +475,84 @@ class LeaseNode:
             if self.isgoodforrelease(y) and self.uaw[y]:
                 self.policy.release_policy(self, y)
         self._forwardrelease()
+
+    # ------------------------------------------------ crash-recovery extension
+    def crash_volatile(self) -> List[Request]:
+        """The node crashed: every open request and probe round dies with
+        its volatile state.  Returns the now-failed requests so the engine
+        can close their spans (their completion callbacks never fire).
+        Durable state (``val``, ``upcntr``, ghost logs) is untouched —
+        restoring the lease tables from the last checkpoint is the recovery
+        layer's job (:mod:`repro.recovery`)."""
+        failed = [q for q, _ in self._waiters]
+        self._waiters = []
+        for ws in self._scoped_waiters.values():
+            failed.extend(q for q, _ in ws)
+        self._scoped_waiters = {}
+        self.pndg.clear()
+        self.snt.clear()
+        return failed
+
+    def recover_reconcile(self, reestablish: bool = True) -> None:
+        """Post-restart lease reconciliation.
+
+        Whatever the restored checkpoint claims, the node cannot trust any
+        lease across its incident edges — peers may have expired, released
+        or re-granted them while it was down.  So it voids both directions
+        of every edge and *tells the peers so*: a ``Release(∅)`` breaks the
+        lease the peer thinks it granted us, a ``Revoke`` voids the lease
+        the peer thinks it holds from us (cascading per Lemma 3.2).  Cached
+        ``aval`` views and ``uaw`` windows are stale and reset with them,
+        and the per-neighbor policy bookkeeping restarts fresh via the
+        detach/attach hooks.  With ``reestablish`` a probe round for the
+        node itself then re-pulls fresh subtree values (and leases, per
+        policy) from every neighbor — completing silently, like a combine
+        with no waiters.
+        """
+        for v in self.nbrs:
+            if self.taken[v]:
+                self.trace.emit(self._clock(), "lease_voided", self.id, source=v)
+            if self.granted[v]:
+                self.trace.emit(self._clock(), "lease_revoked", self.id, grantee=v)
+            self.taken[v] = False
+            self.granted[v] = False
+            self.aval[v] = self.op.identity
+            self.uaw[v] = set()
+            self.policy.neighbor_detached(self, v)
+            self.policy.neighbor_attached(self, v)
+            self.send(v, Release(S=frozenset()))
+            self.send(v, Revoke())
+        self.sntupdates = []
+        if reestablish and self.nbrs:
+            self._sendprobes(self.id)
+            self.snt[self.id] = set(self.nbrs)
+
+    def expire_taken(self, v: int) -> None:
+        """TTL expiry of the lease *from* ``v``: locally synthesize the
+        :class:`Revoke` a dead ``v`` can never send.  Cascades exactly like
+        a received revoke, so Lemma 3.2 coverage is preserved (grantees
+        relying on this lease lose theirs too instead of serving stale
+        reads).  A :class:`Release` then tells the granter we relinquished
+        — restoring Lemma 3.1 symmetry through the normal T6 transition
+        when ``v`` is reachable; when it is not, ``v``'s own (grace-
+        delayed) granted-side expiry is the fallback."""
+        if not self.taken.get(v, False):
+            return
+        self.trace.emit(self._clock(), "lease_expired", self.id, peer=v, side="taken")
+        S = frozenset(self.uaw[v])
+        self._on_revoke(v)
+        self.send(v, Release(S=S))
+
+    def expire_granted(self, v: int) -> None:
+        """TTL expiry of the lease granted *to* ``v``: locally synthesize
+        the ``Release(∅)`` a dead ``v`` can never send, so writes here stop
+        paying update traffic toward a dead subtree."""
+        if not self.granted.get(v, False):
+            return
+        self.trace.emit(self._clock(), "lease_expired", self.id, peer=v, side="granted")
+        self.trace.emit(self._clock(), "lease_broken", self.id, grantee=v)
+        self.granted[v] = False
+        self._onrelease(v, frozenset())
 
     def attach_neighbor(self, v: int, tree: Tree) -> None:
         """Gain neighbor ``v`` after a topology change (fresh, un-leased
@@ -479,13 +568,31 @@ class LeaseNode:
 
     def detach_neighbor(self, v: int, tree: Tree) -> None:
         """Lose neighbor ``v`` after a topology change; all state toward it
-        is dropped.  ``tree`` is the updated topology object."""
+        is dropped.  ``tree`` is the updated topology object (callers may
+        pass the pre-compaction tree, so ``v`` is filtered explicitly)."""
         self.tree = tree
-        self.nbrs = tree.neighbors(self.id)
+        self.nbrs = [u for u in tree.neighbors(self.id) if u != v]
         for table in (self.taken, self.granted, self.aval, self.uaw):
             table.pop(v, None)
         self.snt.pop(v, None)
         self.pndg.discard(v)
+        # A round still waiting on the departed neighbor (possible when a
+        # crashed machine leaves without recovering — its response died on
+        # the black-holed wire) would otherwise hang forever: treat the
+        # detach as its empty response and let the round close.
+        for root in sorted(self.pndg):
+            targets = self.snt.get(root)
+            if targets is None or v not in targets:
+                continue
+            targets.discard(v)
+            if not targets:
+                self.pndg.discard(root)
+                del self.snt[root]
+                if root == self.id:
+                    waiters, self._waiters = self._waiters, []
+                    self._finish_combine(waiters)
+                else:
+                    self._sendresponse(root)
         self.sntupdates = [t for t in self.sntupdates if t[0] != v]
         self._send_to.pop(v, None)
         self.policy.neighbor_detached(self, v)
@@ -502,6 +609,11 @@ class LeaseNode:
                 table[new] = table.pop(old)
         if old in self.snt:
             self.snt[new] = self.snt.pop(old)
+        for targets in self.snt.values():
+            # Open rounds may be *waiting on* the renamed neighbor too.
+            if old in targets:
+                targets.discard(old)
+                targets.add(new)
         if old in self.pndg:
             self.pndg.discard(old)
             self.pndg.add(new)

@@ -144,6 +144,7 @@ class NodeRuntime:
         trace_max_events: Optional[int] = None,
         seed: int = 0,
         node_cls: Type[LeaseNode] = LeaseNode,
+        recovery: Optional[Any] = None,
     ) -> None:
         self.tree = tree
         self.op = op
@@ -169,9 +170,29 @@ class NodeRuntime:
         )
         self._ghost = ghost
         self.node_cls = node_cls
-        self._clock = (lambda: self.sim.now) if self.sim is not None else None
+        self._clock = self._read_clock if self.sim is not None else None
+        self.crashed: set = set()
+        self._failure_listeners: List[Callable[[List[Request]], None]] = []
         for i in tree.nodes():
             self.router.add(self._make_node(i, tree))
+        # Scheduled faults (crash/recover/partition/heal in the FaultPlan)
+        # are applied by the wire; the runtime listens so the node-level
+        # consequences (volatile-state loss, reconciliation) follow.
+        wire = getattr(self.network, "inner", self.network)
+        if hasattr(wire, "add_fault_listener"):
+            wire.add_fault_listener(self._on_scheduled_fault)
+        #: The attached RecoveryManager, when crash recovery is enabled.
+        self.recovery = None
+        if recovery is not None:
+            from repro.recovery.manager import RecoveryManager
+
+            self.recovery = RecoveryManager(self, recovery)
+
+    def _read_clock(self) -> float:
+        # A bound method, not a closure: NodeRuntime.fork deep-copies
+        # everything through one memo, and closures are atomic under
+        # deepcopy (a cloned node would read the *original* sim's clock).
+        return self.sim.now
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -226,27 +247,30 @@ class NodeRuntime:
         if pending is None:
             raise RuntimeError(
                 "state_snapshot requires a transport with pending_snapshot "
-                "(the synchronous stack)"
+                "(the synchronous or reliable stacks)"
             )
-        return (
+        snap: Tuple[Any, ...] = (
             tuple(self.nodes[i].state_snapshot() for i in sorted(self.nodes)),
             pending(),
         )
+        if self.crashed:
+            snap += (("crashed", tuple(sorted(self.crashed))),)
+        return snap
 
     def fork(self) -> "NodeRuntime":
         """An independent deep copy of this runtime — nodes, policies,
-        ghost logs and queued messages included.
+        ghost logs, queued messages, and (on simulated stacks) the
+        scheduler heap with its pending timers included.
 
         The model checker forks a runtime at every branching point of the
         delivery schedule; mutating one branch never disturbs another.
         Bound methods and partials are deep-copied through the shared memo,
-        so the clone's nodes send into the clone's transport, and the
-        clone's transport routes into the clone's router.  Restricted to
-        synchronous stacks: a :class:`~repro.sim.scheduler.Simulator` heap
-        holds closures that do not survive a deep copy.
+        so the clone's nodes send into the clone's transport, the clone's
+        transport routes into the clone's router, and the clone's timers
+        fire into the clone's layers — every callback the stack schedules
+        is a bound method or partial for exactly this reason (closures are
+        atomic under deepcopy and would alias the original).
         """
-        if self.sim is not None:
-            raise RuntimeError("fork requires the synchronous transport")
         return copy.deepcopy(self)
 
     # -------------------------------------------------------------- telemetry
@@ -342,6 +366,76 @@ class NodeRuntime:
         """Emit the engine-level ``quiescent`` event (monitors hook on it)."""
         self.trace.emit(self.now, "quiescent", SYSTEM_NODE)
 
+    # -------------------------------------------------------- crash recovery
+    def add_failure_listener(self, fn: Callable[[List[Request]], None]) -> None:
+        """Register a callback receiving the requests a crash killed (their
+        completion callbacks will never fire); engines close spans here."""
+        self._failure_listeners.append(fn)
+
+    def _on_scheduled_fault(self, ev: Any) -> None:
+        """Wire-level scheduled fault -> node-level consequence.
+
+        The wire (FaultyNetwork) already black-holed the traffic and
+        emitted the lifecycle trace event; here the node loses its volatile
+        state (crash) or reconciles (recover).  With a
+        :class:`~repro.recovery.manager.RecoveryManager` attached, it owns
+        the handling (checkpoint restore, metrics) around the same
+        primitives.
+        """
+        if ev.kind == "crash":
+            if self.recovery is not None:
+                self.recovery.handle_crash(ev.node)
+            else:
+                self.crash(ev.node, emit_trace=False)
+        elif ev.kind == "recover":
+            if self.recovery is not None:
+                self.recovery.handle_recover(ev.node)
+            else:
+                self.recover(ev.node, emit_trace=False)
+
+    def crash(self, node_id: int, *, emit_trace: bool = True) -> List[Request]:
+        """Crash a node: black-hole its traffic and lose its volatile state.
+
+        Returns the requests that died with it (failure listeners are
+        notified too).  Idempotent — crashing a crashed node is a no-op.
+        ``emit_trace`` is off when the wire already emitted ``node_crash``
+        (the scheduled-fault path).
+        """
+        if node_id in self.crashed:
+            return []
+        if not hasattr(self.network, "crash_node"):
+            raise RuntimeError(
+                "this transport does not support crash faults (needs the "
+                "synchronous, faulty or reliable stack)"
+            )
+        self.crashed.add(node_id)
+        if emit_trace:
+            self.trace.emit(self.now, "node_crash", node_id)
+        self.network.crash_node(node_id)
+        failed = self.nodes[node_id].crash_volatile()
+        if failed:
+            for fn in self._failure_listeners:
+                fn(failed)
+        return failed
+
+    def recover(
+        self, node_id: int, *, emit_trace: bool = True, reestablish: bool = True
+    ) -> None:
+        """Recover a crashed node: reopen the wire, reset the reliable
+        layer's conversations on its edges, and run the node's lease
+        reconciliation round (see :meth:`LeaseNode.recover_reconcile`).
+        Checkpoint restoration, when enabled, happens *before* this via
+        the :class:`~repro.recovery.manager.RecoveryManager`."""
+        if node_id not in self.crashed:
+            return
+        self.crashed.discard(node_id)
+        if emit_trace:
+            self.trace.emit(self.now, "node_recover", node_id)
+        self.network.recover_node(node_id)
+        if hasattr(self.network, "reset_edges_for"):
+            self.network.reset_edges_for(node_id)
+        self.nodes[node_id].recover_reconcile(reestablish=reestablish)
+
     # ------------------------------------------------------------- topology
     def set_topology(self, tree: Tree) -> None:
         """Swap the tree under the runtime (dynamic engines, at quiescence).
@@ -369,6 +463,11 @@ class NodeRuntime:
         """Re-key a node and rebind its precomputed send callables."""
         node = self.router.rename(old, new)
         node.rebind_send(partial(self.network.send, new))
+        if old in self.crashed:
+            self.crashed.discard(old)
+            self.crashed.add(new)
+        if hasattr(self.network, "rename_node"):
+            self.network.rename_node(old, new)
         return node
 
     # ------------------------------------------------------------ invariants

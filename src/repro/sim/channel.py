@@ -11,6 +11,7 @@ i.i.d. delays).
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import Any, Callable, Optional
 
 from repro.sim.scheduler import Simulator
@@ -89,10 +90,13 @@ class FifoChannel:
         t = max(self.sim.now + delay, self._last_delivery)
         self._last_delivery = t
         self.sent += 1
-
-        def _fire(p=payload) -> None:
-            self.delivered += 1
-            self._deliver(p)
-
-        self.sim.schedule_at(t, _fire, label=f"deliver {self.src}->{self.dst}")
+        # Bound-method partial (not a closure) so a deep-copied simulator
+        # heap delivers into the cloned channel, not the original.
+        self.sim.schedule_at(
+            t, partial(self._fire, payload), label=f"deliver {self.src}->{self.dst}"
+        )
         return t
+
+    def _fire(self, payload: Any) -> None:
+        self.delivered += 1
+        self._deliver(payload)

@@ -48,15 +48,53 @@ class SynchronousNetwork:
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self._queue: Deque[Tuple[int, int, Any]] = deque()
         self._delivering = False
+        self.crashed: set = set()
 
     def send(self, src: int, dst: int, message: Any) -> None:
-        """Enqueue ``message`` from ``src`` to its neighbor ``dst``."""
+        """Enqueue ``message`` from ``src`` to its neighbor ``dst``.
+
+        Traffic to or from a crashed node is black-holed as a *declared
+        loss*: the send is still traced and counted (the sender paid for
+        it), then a ``delivery_failed`` event announces the casualty so
+        the offline causal checker can discount it.
+        """
         if not self.tree.has_edge(src, dst):
             raise ValueError(f"({src}, {dst}) is not a tree edge; cannot send")
         kind = getattr(message, "kind", type(message).__name__.lower())
         self.stats.record(src, dst, kind)
         self.trace.emit(0.0, "send", src, dst=dst, msg=kind)
+        if src in self.crashed or dst in self.crashed:
+            self.trace.emit(
+                0.0, "delivery_failed", src, dst=dst, msg=kind, seq=-1, attempts=0
+            )
+            return
         self._queue.append((src, dst, message))
+
+    # ------------------------------------------------------- crash/recovery
+    def crash_node(self, node: int) -> None:
+        """Black-hole the node: queued messages to it die as declared
+        losses; future traffic to or from it is discarded at send time."""
+        self.crashed.add(node)
+        survivors: Deque[Tuple[int, int, Any]] = deque()
+        for src, dst, message in self._queue:
+            if dst == node:
+                kind = getattr(message, "kind", type(message).__name__.lower())
+                self.trace.emit(
+                    0.0, "delivery_failed", src, dst=dst, msg=kind, seq=-1, attempts=0
+                )
+            else:
+                survivors.append((src, dst, message))
+        self._queue = survivors
+
+    def recover_node(self, node: int) -> None:
+        """Reopen the wire to ``node`` (state restoration happens above)."""
+        self.crashed.discard(node)
+
+    def rename_node(self, old: int, new: int) -> None:
+        """Re-key crash state after a dynamic-tree id rename."""
+        if old in self.crashed:
+            self.crashed.discard(old)
+            self.crashed.add(new)
 
     def run_to_quiescence(self, max_messages: int = 10_000_000) -> int:
         """Deliver queued messages (and those they trigger) until none remain.
@@ -136,9 +174,13 @@ class SynchronousNetwork:
         per_edge: Dict[Tuple[int, int], List[Any]] = {}
         for src, dst, message in self._queue:
             per_edge.setdefault((src, dst), []).append(canonical_value(message))
-        return tuple(
+        snap: Tuple[Any, ...] = tuple(
             (edge, tuple(messages)) for edge, messages in sorted(per_edge.items())
         )
+        if self.crashed:
+            # Shape-stable: crash-free states keep their historical snapshot.
+            snap += (("crashed", tuple(sorted(self.crashed))),)
+        return snap
 
     def sender(self, src: int, dst: int) -> Callable[[Any], None]:
         """A precomputed send callable for the directed edge ``src -> dst``.
@@ -193,18 +235,15 @@ class Network:
             self.sim,
             u,
             v,
-            deliver=self._make_deliver(u, v),
+            deliver=partial(self._deliver, u, v),
             latency=self._latency,
             rng=ch_rng,
         )
 
-    def _make_deliver(self, src: int, dst: int) -> Callable[[Any], None]:
-        def deliver(message: Any) -> None:
-            kind = getattr(message, "kind", type(message).__name__.lower())
-            self.trace.emit(self.sim.now, "recv", dst, src=src, msg=kind)
-            self._receiver(src, dst, message)
-
-        return deliver
+    def _deliver(self, src: int, dst: int, message: Any) -> None:
+        kind = getattr(message, "kind", type(message).__name__.lower())
+        self.trace.emit(self.sim.now, "recv", dst, src=src, msg=kind)
+        self._receiver(src, dst, message)
 
     def send(self, src: int, dst: int, message: Any) -> None:
         """Send ``message`` on the directed channel ``src -> dst``."""

@@ -53,6 +53,7 @@ from repro.sim.scheduler import Simulator, Timer
 from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceLog
 from repro.tree.topology import Tree
+from repro.util.canon import canonical_value
 
 Edge = Tuple[int, int]
 
@@ -104,10 +105,19 @@ class ReliabilityConfig:
 
 @dataclass(frozen=True)
 class Segment:
-    """One logical message wrapped with a per-edge sequence number."""
+    """One logical message wrapped with a per-edge sequence number.
+
+    ``epoch`` guards crash recovery: when an edge's sequence state is reset
+    (see :meth:`ReliableNetwork.reset_edges_for`) the edge's epoch is
+    bumped, and frames stamped with an older epoch are discarded on arrival
+    — otherwise a pre-reset in-flight ACK with a high cumulative count
+    would silently acknowledge post-reset segments that were never
+    delivered.
+    """
 
     seq: int
     payload: Any
+    epoch: int = 0
 
     @property
     def kind(self) -> str:
@@ -117,9 +127,14 @@ class Segment:
 
 @dataclass(frozen=True)
 class Ack:
-    """Cumulative acknowledgement: every ``seq <= cum`` arrived in order."""
+    """Cumulative acknowledgement: every ``seq <= cum`` arrived in order.
+
+    Carries the epoch of the data edge it acknowledges; stale-epoch ACKs
+    are discarded (see :class:`Segment`).
+    """
 
     cum: int
+    epoch: int = 0
 
     @property
     def kind(self) -> str:
@@ -225,11 +240,16 @@ class ReliableNetwork:
         self._unacked: Dict[Edge, Dict[int, _Outgoing]] = {}
         self._expected: Dict[Edge, int] = {}
         self._reorder: Dict[Edge, Dict[int, Any]] = {}
+        self._epoch: Dict[Edge, int] = {}
         for edge in tree.directed_edges():
-            self._next_seq[edge] = 0
-            self._unacked[edge] = {}
-            self._expected[edge] = 0
-            self._reorder[edge] = {}
+            self._init_edge(edge)
+
+    def _init_edge(self, edge: Edge) -> None:
+        self._next_seq[edge] = 0
+        self._unacked[edge] = {}
+        self._expected[edge] = 0
+        self._reorder[edge] = {}
+        self._epoch[edge] = 0
 
     # ------------------------------------------------------------- interface
     @property
@@ -289,13 +309,95 @@ class ReliableNetwork:
             del self._unacked[edge]
             del self._expected[edge]
             del self._reorder[edge]
+            del self._epoch[edge]
         for edge in tree.directed_edges():
             if edge not in self._next_seq:
-                self._next_seq[edge] = 0
-                self._unacked[edge] = {}
-                self._expected[edge] = 0
-                self._reorder[edge] = {}
+                self._init_edge(edge)
         self.inner.set_topology(tree)
+
+    def rename_node(self, old: int, new: int) -> None:
+        """Re-key the wire's crash/partition state after a dynamic rename
+        (edge-level sequence state is re-keyed by :meth:`set_topology`)."""
+        self.inner.rename_node(old, new)
+
+    # --------------------------------------------------------- crash recovery
+    @property
+    def crashed(self):
+        """The wire's crashed-node set."""
+        return self.inner.crashed
+
+    def crash_node(self, node: int) -> None:
+        """Direct-API crash: black-hole the node's traffic on the wire."""
+        self.inner.crash_node(node)
+
+    def recover_node(self, node: int) -> None:
+        """Direct-API recover: reopen the wire (callers should follow with
+        :meth:`reset_edges_for` — the node's conversation state is gone)."""
+        self.inner.recover_node(node)
+
+    def reset_edges_for(self, node: int) -> None:
+        """Zero the sequence state of every edge touching ``node``.
+
+        Called when ``node`` recovers from a crash: the node's reliable
+        conversation state died with it, so both directions of each
+        incident edge restart from seq 0 in a **new epoch** (stale
+        in-flight frames of the old epoch are discarded on arrival — see
+        :class:`Segment`).  Every still-unacknowledged segment on those
+        edges is a declared loss: its retransmission timer is cancelled and
+        a ``delivery_failed`` trace event announces the casualty.
+        Reorder-buffered arrivals are dropped silently — their sender-side
+        unacked entry already declares the loss.
+        """
+        for edge in self._next_seq:
+            if node not in edge:
+                continue
+            src, dst = edge
+            for seq in sorted(self._unacked[edge]):
+                out = self._unacked[edge][seq]
+                out.timer.cancel()
+                self.summary.give_ups += 1
+                self.failures.append(
+                    DeliveryFailure(
+                        time=self.sim.now, src=src, dst=dst,
+                        seq=seq, message_kind=out.message_kind, attempts=out.retries,
+                    )
+                )
+                self.trace.emit(
+                    self.sim.now, "delivery_failed", src,
+                    dst=dst, msg=out.message_kind, seq=seq, attempts=out.retries,
+                )
+            self._unacked[edge] = {}
+            self._next_seq[edge] = 0
+            self._expected[edge] = 0
+            self._reorder[edge] = {}
+            self._epoch[edge] += 1
+
+    def pending_snapshot(self) -> Tuple[Any, ...]:
+        """Canonical, hashable rendering of the reliable layer's per-edge
+        conversation state: sequence counters, epoch, unacked segments
+        (payload + retry count) and the reorder buffer, sorted by edge.
+        Used by :meth:`NodeRuntime.state_snapshot` and the fork parity
+        tests; wire frames in flight below are simulator events and are
+        not part of this snapshot."""
+        out = []
+        for edge in sorted(self._next_seq):
+            out.append(
+                (
+                    edge,
+                    self._next_seq[edge],
+                    self._epoch[edge],
+                    self._expected[edge],
+                    tuple(
+                        (seq, canonical_value(o.payload), o.retries)
+                        for seq, o in sorted(self._unacked[edge].items())
+                    ),
+                    tuple(
+                        (seq, canonical_value(p))
+                        for seq, p in sorted(self._reorder[edge].items())
+                    ),
+                )
+            )
+        return tuple(out)
 
     # ---------------------------------------------------------- sender side
     def _transmit(self, edge: Edge, out: _Outgoing, first: bool) -> None:
@@ -311,10 +413,12 @@ class ReliableNetwork:
                 self.sim.now, "retransmit", src,
                 dst=dst, msg=out.message_kind, seq=out.seq, attempt=out.retries,
             )
-        self.inner.send(src, dst, Segment(seq=out.seq, payload=out.payload))
+        self.inner.send(
+            src, dst, Segment(seq=out.seq, payload=out.payload, epoch=self._epoch[edge])
+        )
         out.timer.start(
             out.timeout,
-            lambda: self._on_timeout(edge, out),
+            partial(self._on_timeout, edge, out),
             label=f"rto {src}->{dst} #{out.seq}",
         )
 
@@ -336,14 +440,55 @@ class ReliableNetwork:
                 self.sim.now, "delivery_failed", src,
                 dst=dst, msg=out.message_kind, seq=out.seq, attempts=out.retries,
             )
+            self._restart_conversation(edge)
             return
         out.timeout = min(out.timeout * self.config.backoff, self.config.max_timeout)
         self._transmit(edge, out, first=False)
 
+    def _restart_conversation(self, edge: Edge) -> None:
+        """Re-sequence a directed edge after a give-up left a gap.
+
+        A given-up segment leaves a hole the receiver can never advance
+        past: every later segment buffers behind it, cumulative ACKs stay
+        pinned below the gap, and each in turn exhausts its own retry
+        budget — one give-up would wedge the edge *forever* (observed as
+        probe rounds stuck across a partition long after it healed).
+
+        The fix reuses the crash-recovery epoch machinery: bump the edge's
+        epoch, renumber the surviving unacked segments from 0 in send
+        order, and retransmit them.  Old-epoch frames and ACKs still on
+        the wire are discarded on arrival by the existing epoch checks, so
+        every surviving message is still delivered exactly once, in order
+        — only the declared-lost segment is missing from the stream.
+        """
+        src, dst = edge
+        survivors = [self._unacked[edge][s] for s in sorted(self._unacked[edge])]
+        for out in survivors:
+            out.timer.cancel()
+        self._epoch[edge] += 1
+        self._next_seq[edge] = 0
+        self._expected[edge] = 0
+        self._reorder[edge].clear()
+        self._unacked[edge] = {}
+        self.trace.emit(
+            self.sim.now, "conversation_restart", src,
+            dst=dst, epoch=self._epoch[edge], resent=len(survivors),
+        )
+        for out in survivors:
+            out.seq = self._next_seq[edge]
+            self._next_seq[edge] += 1
+            out.retries = 0
+            out.timeout = self.config.base_timeout
+            self._unacked[edge][out.seq] = out
+            self._transmit(edge, out, first=False)
+
     def _on_ack(self, ack_src: int, ack_dst: int, ack: Ack) -> None:
         # The ACK traveled ack_src -> ack_dst; it acknowledges data on the
         # reverse edge (ack_dst -> ack_src).
-        pending = self._unacked[(ack_dst, ack_src)]
+        data_edge = (ack_dst, ack_src)
+        if ack.epoch != self._epoch[data_edge]:
+            return  # stale epoch: predates a recovery-time edge reset
+        pending = self._unacked[data_edge]
         for seq in [s for s in pending if s <= ack.cum]:
             pending[seq].timer.cancel()
             del pending[seq]
@@ -354,6 +499,15 @@ class ReliableNetwork:
             self._on_ack(src, dst, frame)
             return
         edge = (src, dst)
+        if frame.epoch != self._epoch[edge]:
+            # A pre-reset segment still on the wire; its loss was already
+            # declared when the edge was reset.
+            self.stats.record_overhead(src, dst, "stale_epoch")
+            self.trace.emit(
+                self.sim.now, "dup_suppressed", dst, src=src, seq=frame.seq,
+                stale_epoch=True,
+            )
+            return
         seq = frame.seq
         expected = self._expected[edge]
         buffer = self._reorder[edge]
@@ -386,5 +540,7 @@ class ReliableNetwork:
         src, dst = edge
         self.summary.acks_sent += 1
         self.stats.record_overhead(dst, src, "ack")
-        self.inner.send(dst, src, Ack(cum=self._expected[edge] - 1))
+        self.inner.send(
+            dst, src, Ack(cum=self._expected[edge] - 1, epoch=self._epoch[edge])
+        )
 

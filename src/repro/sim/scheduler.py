@@ -137,6 +137,7 @@ class Timer:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._event: Optional["Event"] = None
+        self._action: Optional[Callable[[], None]] = None
 
     @property
     def active(self) -> bool:
@@ -149,20 +150,28 @@ class Timer:
         return self._event.time if self.active else None
 
     def start(self, delay: float, action: Callable[[], None], label: str = "timer") -> None:
-        """Arm the timer ``delay`` from now, replacing any pending firing."""
+        """Arm the timer ``delay`` from now, replacing any pending firing.
+
+        The pending action is held in an attribute and dispatched through
+        the bound :meth:`_fire` method (not a closure), so a deep-copied
+        simulator clones its timers instead of aliasing the original's.
+        """
         self.cancel()
-        event_box = {}
+        self._action = action
+        self._event = self.sim.schedule(delay, self._fire, label=label)
 
-        def fire() -> None:
-            if self._event is event_box.get("ev"):
-                self._event = None
+    def _fire(self) -> None:
+        # Only the currently armed event can reach here: start() cancels the
+        # previous event before re-arming, and cancelled events never run.
+        action = self._action
+        self._event = None
+        self._action = None
+        if action is not None:
             action()
-
-        event_box["ev"] = self.sim.schedule(delay, fire, label=label)
-        self._event = event_box["ev"]
 
     def cancel(self) -> None:
         """Disarm the timer; a no-op when inactive."""
         if self._event is not None:
             self._event.cancel()
             self._event = None
+        self._action = None

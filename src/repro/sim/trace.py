@@ -46,6 +46,7 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "retransmit": ("dst", "msg", "seq", "attempt"),
     "dup_suppressed": ("src", "seq"),
     "delivery_failed": ("dst", "msg", "seq", "attempts"),
+    "conversation_restart": ("dst", "epoch"),  # edge reseq after a give-up
     # mechanism
     "probe_round": ("requestor", "targets"),
     "combine_done": ("value",),
@@ -63,6 +64,14 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "combine_timeout": ("deadline",),
     "span": ("req", "op", "start", "end", "messages"),
     "quiescent": (),
+    # crash-recovery (scheduled faults, checkpoints, lease expiry)
+    "node_crash": (),                    # node went down (volatile state lost)
+    "node_recover": (),                  # node restored from its checkpoint
+    "partition": ("edges",),             # the listed edges are now cut
+    "heal": ("edges",),                  # the listed edges carry traffic again
+    "checkpoint": ("seq",),              # node persisted a checkpoint
+    "lease_expired": ("peer", "side"),   # TTL expiry; side: "taken"|"granted"
+    "reprobe": ("dst", "root"),          # sweep re-probed a stuck round
 }
 
 

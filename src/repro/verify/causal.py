@@ -8,6 +8,14 @@ export_jsonl` (or any equal list of :class:`~repro.sim.trace.TraceEvent`)
 is enough to re-derive the causal structure of the execution and validate
 it — including traces recorded on systems where ghost logs were disabled.
 
+**Declared losses.**  Crash and partition faults black-hole messages *by
+design*, and every such casualty is announced in the trace as a
+``delivery_failed`` event (the transports emit one for wire black-holes,
+reliable-layer give-ups and crash-time conversation resets alike).  The
+checker consumes each announced loss by retiring the first pending send of
+the same message kind on the same edge, so declared casualties never count
+as lost-message violations — only *silent* losses (a protocol bug) do.
+
 Two families of checks:
 
 **Exactly-once, per-edge FIFO delivery.**  Logical sends (``send`` events
@@ -81,6 +89,7 @@ class CausalReport:
     deliveries: int = 0
     writes: int = 0
     combines_checked: int = 0
+    declared_losses: int = 0
     delivery_kind: str = "recv"
     violations: List[TraceViolation] = field(default_factory=list)
 
@@ -95,6 +104,7 @@ class CausalReport:
             "deliveries": self.deliveries,
             "writes": self.writes,
             "combines_checked": self.combines_checked,
+            "declared_losses": self.declared_losses,
             "delivery_kind": self.delivery_kind,
             "ok": self.ok,
             "violations": [v.to_dict() for v in self.violations],
@@ -203,6 +213,26 @@ def check_trace(
             join(full, sent.full)
             if sent.msg in PAYLOAD_KINDS:
                 join(pay, sent.pay)
+        elif ev.kind == "delivery_failed":
+            if ev.node >= 0:
+                tick(ev.node)
+            msg = ev.detail.get("msg")
+            if not isinstance(msg, str) or not is_logical_kind(msg):
+                continue  # frame-level casualty; retransmission covers it
+            edge = (ev.node, ev.detail["dst"])
+            queue = pending.get(edge)
+            if queue:
+                # Retire the first pending send of the announced kind.  A
+                # declaration may race a delivery that already matched its
+                # send (a segment delivered but unACKed at a crash-time
+                # reset is re-declared); with no same-kind send pending the
+                # announcement is simply stale — skip, never invent a
+                # violation.
+                for i, sent in enumerate(queue):
+                    if sent.msg == msg:
+                        del queue[i]
+                        report.declared_losses += 1
+                        break
         elif ev.kind == "write_done":
             full, pay = tick(ev.node)
             report.writes += 1

@@ -23,6 +23,16 @@ found by exhaustion:
   at full quiescence), results must equal the sequential-specification
   values (:func:`repro.consistency.strict.check_strict_consistency`).
 
+Scripts may also schedule **crash/recover transitions** (``kN`` / ``rN``):
+a crash black-holes the node's wire and loses its volatile state (open
+requests die and are excluded from the oracles, mirroring the engines'
+fast-fail behavior), a recover reopens the wire and runs the
+lease-reconciliation round.  While any node is down the quiescent-state
+lemmas and the deadlock rule are suspended (a down node legitimately breaks
+symmetry); they re-arm the moment the last node recovers, so a recovery
+path that leaves stale leases behind — the classic stale-lease mutant — is
+caught as a lemma, causal or deadlock violation with a replayable schedule.
+
 Small-scope caveat (documented in DESIGN.md): exhaustiveness is relative to
 the bounded scope — the synchronous reliable network, trees of a few nodes
 and scripts of a few operations.  Per the small-scope hypothesis most
@@ -78,26 +88,36 @@ __all__ = [
 #: An explorer action: ("deliver", src, dst) or ("op", script_index).
 Action = Tuple[Any, ...]
 
+#: OpSpec kinds beyond WRITE/COMBINE: scheduled crash/recover transitions.
+CRASH = "crash"
+RECOVER = "recover"
+
 
 @dataclass(frozen=True)
 class OpSpec:
-    """One scripted operation: a write of ``arg`` or a combine at ``node``."""
+    """One scripted operation: a write of ``arg``, a combine at ``node``,
+    or a crash/recover fault transition at ``node``."""
 
-    kind: str  # WRITE or COMBINE
+    kind: str  # WRITE, COMBINE, CRASH or RECOVER
     node: int
     arg: Optional[float] = None
 
     def __str__(self) -> str:
         if self.kind == WRITE:
             return f"w{self.node}={self.arg:g}"
+        if self.kind == CRASH:
+            return f"k{self.node}"
+        if self.kind == RECOVER:
+            return f"r{self.node}"
         return f"c{self.node}"
 
 
 def parse_script(text: str) -> List[OpSpec]:
-    """Parse the CLI script DSL: ``"w0=1,c2,w2=5,c0"``.
+    """Parse the CLI script DSL: ``"w0=1,c2,k0,r0,w2=5,c0"``.
 
     ``wN=X`` writes value ``X`` at node ``N``; ``cN`` combines at node
-    ``N``.  Whitespace around commas is ignored.
+    ``N``; ``kN`` kills (crashes) node ``N``; ``rN`` recovers it.
+    Whitespace around commas is ignored.
     """
     ops: List[OpSpec] = []
     for chunk in text.split(","):
@@ -110,11 +130,15 @@ def parse_script(text: str) -> List[OpSpec]:
                 ops.append(OpSpec(WRITE, int(lhs), float(rhs)))
             elif tok.startswith("c"):
                 ops.append(OpSpec(COMBINE, int(tok[1:])))
+            elif tok.startswith("k"):
+                ops.append(OpSpec(CRASH, int(tok[1:])))
+            elif tok.startswith("r"):
+                ops.append(OpSpec(RECOVER, int(tok[1:])))
             else:
                 raise ValueError
         except ValueError:
             raise ValueError(
-                f"bad script token {tok!r}: expected wN=X or cN"
+                f"bad script token {tok!r}: expected wN=X, cN, kN or rN"
             ) from None
     return ops
 
@@ -242,7 +266,25 @@ class _World:
         if not self.fully_quiescent():
             self.serial = False
         self.pos += 1
+        if spec.kind == CRASH:
+            # A fault transition is never serial: it tears state mid-flight.
+            self.serial = False
+            for q in self.runtime.crash(spec.node):
+                q.failed = True
+            return
+        if spec.kind == RECOVER:
+            self.serial = False
+            self.runtime.recover(spec.node)
+            return
         node = self.runtime.nodes[spec.node]
+        if spec.node in self.runtime.crashed:
+            # The engines fast-fail initiations at a down node; mirror that.
+            request = write(spec.node, spec.arg) if spec.kind == WRITE else combine(
+                spec.node
+            )
+            request.failed = True
+            self.requests.append(request)
+            return
         if spec.kind == WRITE:
             request = write(spec.node, spec.arg)
             self.requests.append(request)
@@ -257,7 +299,10 @@ class _World:
         return (
             self.runtime.state_snapshot(),
             self.pos,
-            tuple((r.index, canonical_value(r.retval)) for r in self.requests),
+            tuple(
+                (r.index, canonical_value(r.retval), r.failed)
+                for r in self.requests
+            ),
             self.serial,
         )
 
@@ -318,6 +363,11 @@ class Explorer:
 
     # ------------------------------------------------------------------ checks
     def _check_state(self, world: _World, result: ExploreResult) -> None:
+        if world.runtime.crashed:
+            # Quiescent-state lemmas and the deadlock rule are only defined
+            # with every node up: a down node legitimately breaks symmetry
+            # and can legitimately wedge a neighbor's round until recovery.
+            return
         if not world.runtime.is_quiescent():
             return
         stuck = sorted(
@@ -344,10 +394,15 @@ class Explorer:
 
     def _check_terminal(self, world: _World, result: ExploreResult) -> None:
         result.terminals += 1
+        if world.runtime.crashed:
+            # A script that ends with a node still down has no meaningful
+            # terminal semantics (its requests may be legitimately wedged);
+            # count the terminal but assert nothing.
+            return
         incomplete = [
             str(self.script[i])
             for i, r in enumerate(world.requests)
-            if r.index < 0
+            if r.index < 0 and not r.failed
         ]
         if incomplete:
             result.violations.append(
@@ -363,8 +418,9 @@ class Explorer:
             for i, node in world.runtime.nodes.items()
             if node.ghost is not None
         }
+        live = [r for r in world.requests if not r.failed]
         for v in check_causal_consistency(
-            ghost_logs, world.requests, self.tree.n, op=self.op
+            ghost_logs, live, self.tree.n, op=self.op
         ):
             result.violations.append(
                 Violation(kind="causal", message=str(v), schedule=tuple(world.path))

@@ -288,6 +288,14 @@ _IgnoreReleaseNode._DISPATCH = {
 }
 
 
+class _StaleLeaseRecoveryNode(LeaseNode):
+    """Seeded bug: recovery trusts the pre-crash lease tables verbatim —
+    no voiding, no Release/Revoke to the peers, no re-probe."""
+
+    def recover_reconcile(self, reestablish=True):
+        pass
+
+
 class TestExplorer:
     def test_script_parsing_round_trip(self):
         script = parse_script(" w0=1.5, c2 ,w1=-2,c0 ")
@@ -298,9 +306,24 @@ class TestExplorer:
             OpSpec("combine", 0),
         ]
         with pytest.raises(ValueError):
-            parse_script("x3")
+            parse_script("z3")
         with pytest.raises(ValueError):
             parse_script("w1")
+
+    def test_script_parsing_crash_recover_tokens(self):
+        script = parse_script("w0=1,k0, r0 ,c1")
+        assert script == [
+            OpSpec("write", 0, 1.0),
+            OpSpec("crash", 0),
+            OpSpec("recover", 0),
+            OpSpec("combine", 1),
+        ]
+        # str() round-trips through the parser for every token kind.
+        assert parse_script(",".join(str(s) for s in script)) == script
+        with pytest.raises(ValueError):
+            parse_script("k")
+        with pytest.raises(ValueError):
+            parse_script("rx")
 
     def test_script_nodes_must_be_in_tree(self):
         with pytest.raises(ValueError):
@@ -358,6 +381,52 @@ class TestExplorer:
         assert not broken.ok
         assert any(v.kind == "lemma" for v in broken.violations)
         assert any("3.1" in v.message for v in broken.violations)
+
+    def test_crash_recover_scope_is_clean(self):
+        # Crash/recover mid-script on a 3-node path: requests killed by the
+        # crash are excluded from the oracles, reconciliation restores the
+        # lemmas, and every surviving request stays causally consistent.
+        script = parse_script("c0,w1=7,k0,r0,w1=9,c0")
+        result = Explorer(path_tree(3), script).run()
+        assert result.ok
+        assert result.states > 50
+        assert result.terminals >= 1
+
+    def test_crash_recover_on_star_scope_is_clean(self):
+        script = parse_script("w1=2,c0,k1,r1,c2")
+        result = Explorer(
+            star_tree(3), script, policy_factory=AlwaysLeasePolicy
+        ).run()
+        assert result.ok
+
+    def test_initiation_at_crashed_node_fast_fails(self):
+        # A write scheduled while its node is down fails instead of hanging;
+        # the completion oracle must not flag it.
+        script = parse_script("k1,w1=5,r1,c0")
+        result = Explorer(path_tree(2), script).run()
+        assert result.ok
+        assert not any(v.kind == "completion" for v in result.violations)
+
+    def test_stale_lease_recovery_mutation_is_caught(self):
+        # Seeded stale-lease mutant: recovery trusts the pre-crash lease
+        # tables verbatim (skips the reconciliation round).  The explorer
+        # must find a schedule where the surviving granter still believes
+        # the crashed-and-recovered holder has the lease — Lemma 3.1 —
+        # and report it with a replayable counterexample.
+        script = parse_script("c0,w1=7,k0,r0,w1=9,c0")
+        healthy = Explorer(path_tree(3), script).run()
+        assert healthy.ok
+        broken = Explorer(
+            path_tree(3), script, node_cls=_StaleLeaseRecoveryNode
+        ).run()
+        assert not broken.ok
+        assert any(
+            v.kind == "lemma" and "3.1" in v.message for v in broken.violations
+        )
+        assert all(v.schedule for v in broken.violations)
+        # The counterexample includes the fault transitions themselves.
+        first = broken.violations[0].schedule
+        assert "op k0" in first and "op r0" in first
 
 
 # -------------------------------------------------------------- trace checking
