@@ -42,7 +42,7 @@ def run_ablation():
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_break_threshold(benchmark, emit):
+def test_ablation_break_threshold(benchmark, emit, emit_json):
     tree = binary_tree(3)
     wl = uniform_workload(tree.n, LENGTH, read_ratio=0.5, seed=31)
     benchmark(
@@ -63,3 +63,12 @@ def test_ablation_break_threshold(benchmark, emit):
         ),
     )
     emit("ablation_ab", text)
+    emit_json("ablation_ab", {
+        "benchmark": "ablation_ab",
+        "length": LENGTH,
+        "rows": [
+            {"b": b, "cost_r02": c02, "cost_r05": c05, "cost_r08": c08,
+             "adversarial_ratio": round(ratio, 6)}
+            for b, c02, c05, c08, ratio in rows
+        ],
+    })

@@ -60,7 +60,7 @@ def run_sweep(tree):
 
 
 @pytest.mark.benchmark(group="motiv")
-def test_baselines_sweep(benchmark, emit):
+def test_baselines_sweep(benchmark, emit, emit_json):
     tree = binary_tree(3)
     wl = uniform_workload(tree.n, LENGTH, read_ratio=0.5, seed=21)
     benchmark(
@@ -93,3 +93,13 @@ def test_baselines_sweep(benchmark, emit):
         ),
     )
     emit("baselines_sweep", text)
+    algos = ("RWW", "Astrolabe", "MDS-2", "RootHier", "TTL-8")
+    emit_json("baselines_sweep", {
+        "benchmark": "baselines_sweep",
+        "length": LENGTH,
+        "tree": {"topology": "binary", "nodes": tree.n},
+        "rows": [
+            {"read_ratio": r[0], "messages": dict(zip(algos, r[1:]))}
+            for r in rows
+        ],
+    })

@@ -76,7 +76,7 @@ def run_tables():
 
 
 @pytest.mark.benchmark(group="ext-dyn")
-def test_dynamic_reconfiguration(benchmark, emit):
+def test_dynamic_reconfiguration(benchmark, emit, emit_json):
     benchmark.pedantic(lambda: churn_run(0, steps=60), rounds=3, iterations=1)
     depth_rows, churn_rows = run_tables()
     # Cold joins cost nothing; warm joins revoke exactly the lease chain
@@ -103,3 +103,15 @@ def test_dynamic_reconfiguration(benchmark, emit):
         ]
     )
     emit("ext_dynamic", text)
+    emit_json("ext_dynamic", {
+        "benchmark": "ext_dynamic",
+        "join_cost": [
+            {"path_depth": depth, "revokes_cold": cold, "revokes_leased": warm}
+            for depth, cold, warm in depth_rows
+        ],
+        "churn_runs": [
+            {"seed": seed, "joins": joins, "removals": removals,
+             "messages": msgs, "revokes": revokes}
+            for seed, joins, removals, msgs, revokes in churn_rows
+        ],
+    })

@@ -47,7 +47,7 @@ def compute_table():
 
 
 @pytest.mark.benchmark(group="ext-game")
-def test_exact_ratio_table(benchmark, emit):
+def test_exact_ratio_table(benchmark, emit, emit_json):
     benchmark(lambda: exact_competitive_ratio(rww_automaton()))
     rows = compute_table()
     by_name = {name.split(" ")[0]: val for name, val, _ in rows}
@@ -70,3 +70,11 @@ def test_exact_ratio_table(benchmark, emit):
         ),
     )
     emit("ext_game", text)
+    emit_json("ext_game", {
+        "benchmark": "ext_game",
+        "rows": [
+            {"automaton": name, "exact_ratio": val,
+             "as_float": None if fval == float("inf") else round(fval, 6)}
+            for name, val, fval in rows
+        ],
+    })

@@ -49,7 +49,7 @@ def run_table():
 
 
 @pytest.mark.benchmark(group="ext-gap")
-def test_relaxation_gap(benchmark, emit):
+def test_relaxation_gap(benchmark, emit, emit_json):
     tree = path_tree(5)
     wl = uniform_workload(tree.n, 25, read_ratio=0.5, seed=13)
     benchmark(lambda: relaxation_gap(tree, wl))
@@ -66,3 +66,12 @@ def test_relaxation_gap(benchmark, emit):
         ),
     )
     emit("ext_gap", text)
+    emit_json("ext_gap", {
+        "benchmark": "ext_gap",
+        "rows": [
+            {"topology": name, "read_ratio": rr if rr != "-" else None,
+             "per_edge_bound": relaxed, "constrained_opt": exact,
+             "gap": gap, "rww_over_opt": round(ratio, 6)}
+            for name, rr, relaxed, exact, gap, ratio in rows
+        ],
+    })

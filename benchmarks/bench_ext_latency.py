@@ -82,7 +82,7 @@ def run_table():
 
 
 @pytest.mark.benchmark(group="ext-latency")
-def test_combine_latency(benchmark, emit):
+def test_combine_latency(benchmark, emit, emit_json):
     benchmark.pedantic(lambda: combine_latencies(RWWPolicy, 0.5), rounds=3, iterations=1)
     rows = run_table()
 
@@ -105,3 +105,12 @@ def test_combine_latency(benchmark, emit):
         ),
     )
     emit("ext_latency", text)
+    emit_json("ext_latency", {
+        "benchmark": "ext_latency",
+        "rows": [
+            {"read_ratio": rr, "policy": name,
+             "mean_latency": round(mean, 6), "p50": round(p50, 6),
+             "p99": round(p99, 6), "messages": msgs}
+            for rr, name, mean, p50, p99, msgs in rows
+        ],
+    })

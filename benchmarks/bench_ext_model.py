@@ -40,7 +40,7 @@ def run_table():
 
 
 @pytest.mark.benchmark(group="ext-model")
-def test_expected_cost_model(benchmark, emit):
+def test_expected_cost_model(benchmark, emit, emit_json):
     tree = TOPOLOGIES["binary15"]
     benchmark(lambda: expected_cost_per_request(tree, 0.5))
     rows = run_table()
@@ -54,3 +54,14 @@ def test_expected_cost_model(benchmark, emit):
         ),
     )
     emit("ext_model", text)
+    emit_json("ext_model", {
+        "benchmark": "ext_model",
+        "length": LENGTH,
+        "rows": [
+            {"topology": name, "read_ratio": rr,
+             "model_msgs_per_request": round(model, 6),
+             "simulated_msgs_per_request": round(sim, 6),
+             "error_pct": round(err, 4)}
+            for name, rr, model, sim, err in rows
+        ],
+    })

@@ -77,7 +77,7 @@ def run_sweep():
 
 
 @pytest.mark.benchmark(group="ext-multi")
-def test_multiattr_batching(benchmark, emit):
+def test_multiattr_batching(benchmark, emit, emit_json):
     tree = binary_tree(3)
 
     def one_day():
@@ -102,3 +102,11 @@ def test_multiattr_batching(benchmark, emit):
         title="EXT-MULTI — message batching across attributes (15-node binary tree):",
     )
     emit("ext_multiattr", text)
+    emit_json("ext_multiattr", {
+        "benchmark": "ext_multiattr",
+        "rows": [
+            {"operation": op, "unbatched_messages": unb,
+             "batched_messages": bat, "savings_factor": round(sav, 6)}
+            for op, unb, bat, sav in rows
+        ],
+    })

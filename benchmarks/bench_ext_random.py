@@ -60,7 +60,7 @@ def run_comparison():
 
 
 @pytest.mark.benchmark(group="ext-random")
-def test_randomized_policies(benchmark, emit):
+def test_randomized_policies(benchmark, emit, emit_json):
     from repro.core.policies import RWWPolicy
 
     tree = binary_tree(3)
@@ -88,3 +88,12 @@ def test_randomized_policies(benchmark, emit):
         ),
     )
     emit("ext_random", text)
+    emit_json("ext_random", {
+        "benchmark": "ext_random",
+        "seeds": len(list(SEEDS)),
+        "rows": [
+            {"policy": name, "adv_ratio": round(adv, 6),
+             "mixed_cost": round(mixed, 2)}
+            for name, adv, mixed in rows
+        ],
+    })

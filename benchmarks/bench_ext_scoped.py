@@ -43,7 +43,7 @@ def run_table():
 
 
 @pytest.mark.benchmark(group="ext-scoped")
-def test_scoped_read_costs(benchmark, emit):
+def test_scoped_read_costs(benchmark, emit, emit_json):
     def one_cold_scoped():
         system = AggregationSystem(TREE)
         system.execute(scoped_combine(0, toward=1))
@@ -63,3 +63,12 @@ def test_scoped_read_costs(benchmark, emit):
         title="EXT-SCOPED — read cost scales with the queried region (40-node 3-ary tree):",
     )
     emit("ext_scoped", text)
+    emit_json("ext_scoped", {
+        "benchmark": "ext_scoped",
+        "tree_nodes": TREE.n,
+        "rows": [
+            {"operation": op, "queried_nodes": size,
+             "cold_messages": cold, "warm_messages": warm}
+            for op, size, cold, warm in rows
+        ],
+    })

@@ -20,7 +20,15 @@ from repro.workloads import uniform_workload
 from repro.workloads.requests import copy_sequence
 
 SIZES = (7, 15, 31, 63, 127, 255)
+#: Extra sizes for the families whose message span actually grows with n
+#: (path: diameter; binary: depth).  A 1023-leaf star adds no scaling
+#: signal over 255 — its pull/push span is O(1) — so it is excluded.
+LARGE_SIZES = (511, 1023)
 LENGTH = 300
+
+
+def sizes_for(kind: str):
+    return SIZES + (LARGE_SIZES if kind in ("path", "binary") else ())
 
 
 def topo(kind, n):
@@ -39,7 +47,7 @@ def topo(kind, n):
 def run_scaling():
     rows = []
     for kind in ("path", "star", "binary"):
-        for n in SIZES:
+        for n in sizes_for(kind):
             tree = topo(kind, n)
             wl = uniform_workload(tree.n, LENGTH, read_ratio=0.5, seed=41)
             system = AggregationSystem(tree)

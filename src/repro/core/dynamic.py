@@ -39,7 +39,7 @@ under faults needs nothing extra.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.core.engine import AggregationSystem, PolicyFactory
 from repro.core.policies import RWWPolicy
@@ -71,6 +71,8 @@ class DynamicAggregationSystem(AggregationSystem):
         metrics: Optional[MetricsRegistry] = None,
         transport: Optional[TransportConfig] = None,
         seed: int = 0,
+        profiler: Optional[Any] = None,
+        cost_accounting: bool = False,
     ) -> None:
         super().__init__(
             tree,
@@ -80,6 +82,8 @@ class DynamicAggregationSystem(AggregationSystem):
             metrics=metrics,
             transport=transport,
             seed=seed,
+            profiler=profiler,
+            cost_accounting=cost_accounting,
         )
         self._edges: Set[Tuple[int, int]] = {tuple(sorted(e)) for e in tree.edges}
         self._live: Set[int] = set(tree.nodes())

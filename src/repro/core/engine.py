@@ -43,7 +43,9 @@ from repro.core.runtime import (
     PolicyFactory,
     check_quiescent_invariants,
 )
+from repro.obs.costmeter import CostMeter, CostReport
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import PerfProfiler
 from repro.obs.spans import RequestSpan
 from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
@@ -114,6 +116,10 @@ class ExecutionResult:
         failed-fast) request, in completion order.
     metrics:
         The run's :class:`~repro.obs.metrics.MetricsRegistry`.
+    cost:
+        Observed-vs-OPT accounting from the streaming
+        :class:`~repro.obs.costmeter.CostMeter` (``None`` unless the
+        engine ran with ``cost_accounting=True``).
     """
 
     requests: List[Request]
@@ -124,6 +130,7 @@ class ExecutionResult:
     timeouts: List["CombineTimeout"] = field(default_factory=list)
     spans: List[RequestSpan] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    cost: Optional[CostReport] = None
 
     @property
     def total_messages(self) -> int:
@@ -195,8 +202,17 @@ class _RuntimeDriver:
     def sim(self) -> Optional[Simulator]:
         return self.runtime.sim
 
+    @property
+    def profiler(self) -> Optional[PerfProfiler]:
+        return self.runtime.profiler
+
+    @property
+    def cost_meter(self) -> Optional[CostMeter]:
+        return self.runtime.cost_meter
+
     def result(self) -> ExecutionResult:
         """Snapshot the execution outcome so far."""
+        meter = self.runtime.cost_meter
         return ExecutionResult(
             requests=list(self.executed),
             stats=self.runtime.stats,
@@ -206,6 +222,7 @@ class _RuntimeDriver:
             timeouts=list(getattr(self, "timeouts", ())),
             spans=list(self.runtime.spans),
             metrics=self.runtime.metrics,
+            cost=meter.report() if meter is not None else None,
         )
 
     def check_quiescent_invariants(self) -> None:
@@ -277,6 +294,8 @@ class AggregationSystem(_RuntimeDriver):
         transport: Optional[TransportConfig] = None,
         seed: int = 0,
         recovery: Optional[Any] = None,
+        profiler: Optional[PerfProfiler] = None,
+        cost_accounting: bool = False,
     ) -> None:
         self.runtime = NodeRuntime(
             tree,
@@ -289,6 +308,8 @@ class AggregationSystem(_RuntimeDriver):
             trace_max_events=trace_max_events,
             seed=seed,
             recovery=recovery,
+            profiler=profiler,
+            cost_accounting=cost_accounting,
         )
         self.executed: List[Request] = []
 
@@ -377,6 +398,8 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
         trace_max_events: Optional[int] = None,
         transport: Optional[TransportConfig] = None,
         recovery: Optional[Any] = None,
+        profiler: Optional[PerfProfiler] = None,
+        cost_accounting: bool = False,
     ) -> None:
         if transport is None:
             transport = TransportConfig.simulated(latency=latency, reliability=reliability)
@@ -393,6 +416,8 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
             trace_max_events=trace_max_events,
             seed=seed,
             recovery=recovery,
+            profiler=profiler,
+            cost_accounting=cost_accounting,
         )
         self.reliability = transport.reliability
         self.timeouts: List[CombineTimeout] = []
@@ -541,7 +566,11 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
         """
         rt = self.runtime
         for item in schedule:
-            rt.sim.schedule_at(item.time, lambda q=item.request: self._initiate(q))
+            rt.sim.schedule_at(
+                item.time,
+                lambda q=item.request: self._initiate(q),
+                label=f"initiate node {item.request.node}",
+            )
         rt.sim.run()
         if self._outstanding:
             raise RuntimeError(f"{self._outstanding} combine(s) never completed")
@@ -569,6 +598,8 @@ def faulty_concurrent_system(
     reliability: Optional[ReliabilityConfig] = None,
     trace_enabled: bool = False,
     recovery: Optional[Any] = None,
+    profiler: Optional[PerfProfiler] = None,
+    cost_accounting: bool = False,
 ) -> ConcurrentAggregationSystem:
     """A :class:`ConcurrentAggregationSystem` whose transport is lossy.
 
@@ -601,6 +632,8 @@ def faulty_concurrent_system(
         trace_enabled=trace_enabled,
         transport=config,
         recovery=recovery,
+        profiler=profiler,
+        cost_accounting=cost_accounting,
     )
 
 
@@ -615,6 +648,8 @@ def reliable_concurrent_system(
     ghost: bool = True,
     trace_enabled: bool = False,
     recovery: Optional[Any] = None,
+    profiler: Optional[PerfProfiler] = None,
+    cost_accounting: bool = False,
 ) -> ConcurrentAggregationSystem:
     """A concurrent system whose lossy transport is healed by a
     :class:`~repro.sim.reliability.ReliableNetwork` — shorthand for
@@ -630,6 +665,8 @@ def reliable_concurrent_system(
         reliability=config if config is not None else ReliabilityConfig(),
         trace_enabled=trace_enabled,
         recovery=recovery,
+        profiler=profiler,
+        cost_accounting=cost_accounting,
     )
 
 
@@ -642,7 +679,11 @@ def run_with_faults(system: ConcurrentAggregationSystem, schedule):
     legitimately returned ``None`` (they also keep ``q.index == -1``).
     """
     for item in schedule:
-        system.sim.schedule_at(item.time, lambda q=item.request: system._initiate(q))
+        system.sim.schedule_at(
+            item.time,
+            lambda q=item.request: system._initiate(q),
+            label=f"initiate node {item.request.node}",
+        )
     system.sim.run()
     hung = [q for q in system.executed if q.op == COMBINE and q.index < 0 and not q.failed]
     for q in hung:

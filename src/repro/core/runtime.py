@@ -40,7 +40,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.core.mechanism import LeaseNode
 from repro.core.policies import LeasePolicy, RWWPolicy
+from repro.obs.costmeter import CostMeter
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsBridge, MetricsRegistry
+from repro.obs.perf import PerfProfiler
 from repro.obs.monitors import expected_probe_edges
 from repro.obs.spans import RequestSpan, probe_fanout_from_events
 from repro.ops.monoid import AggregationOperator
@@ -69,11 +71,25 @@ class Router:
     :meth:`add` / :meth:`remove` / :meth:`rename`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: Optional[PerfProfiler] = None) -> None:
         self.nodes: Dict[int, LeaseNode] = {}
+        #: Optional wall-clock profiler; when enabled, :meth:`route` wraps
+        #: each delivery in a ``mechanism.<kind>`` phase.  Disabled or
+        #: absent, the dispatch path pays one attribute load and a branch —
+        #: no allocation, and ``LeaseNode.on_message`` itself is untouched.
+        self.profiler = profiler
 
     def route(self, src: int, dst: int, message: Any) -> None:
         """Deliver ``message`` (sent by ``src``) to node ``dst``."""
+        prof = self.profiler
+        if prof is not None and prof.enabled:
+            prof.count("messages_routed")
+            prof.push("mechanism." + type(message).__name__.lower())
+            try:
+                self.nodes[dst].on_message(src, message)
+            finally:
+                prof.pop()
+            return
         self.nodes[dst].on_message(src, message)
 
     def add(self, node: LeaseNode) -> LeaseNode:
@@ -145,6 +161,8 @@ class NodeRuntime:
         seed: int = 0,
         node_cls: Type[LeaseNode] = LeaseNode,
         recovery: Optional[Any] = None,
+        profiler: Optional[PerfProfiler] = None,
+        cost_accounting: bool = False,
     ) -> None:
         self.tree = tree
         self.op = op
@@ -156,8 +174,21 @@ class NodeRuntime:
         if trace_enabled:
             self.trace.subscribe(MetricsBridge(self.metrics))
         self.stats = MessageStats()
-        self.sim: Optional[Simulator] = Simulator() if self.config.needs_sim else None
-        self.router = Router()
+        #: Optional wall-clock profiler, threaded into the scheduler's
+        #: event loop, the router's dispatch and the reliable layer's
+        #: retransmit path.  ``None`` (the default) keeps every hot path
+        #: on its historical unguarded code.
+        self.profiler = profiler
+        #: Streaming observed-vs-OPT accountant (``cost_accounting=True``);
+        #: engines feed it one request per initiation, in order.  Dropped
+        #: on :meth:`set_topology` — the per-edge DP assumes a static tree.
+        self.cost_meter: Optional[CostMeter] = (
+            CostMeter(tree, self.stats) if cost_accounting else None
+        )
+        self.sim: Optional[Simulator] = (
+            Simulator(profiler=profiler) if self.config.needs_sim else None
+        )
+        self.router = Router(profiler=profiler)
         self.network: Transport = build_transport(
             self.config,
             tree,
@@ -167,6 +198,7 @@ class NodeRuntime:
             stats=self.stats,
             trace=self.trace,
             metrics=self.metrics,
+            profiler=profiler,
         )
         self._ghost = ghost
         self.node_cls = node_cls
@@ -283,7 +315,12 @@ class NodeRuntime:
         expected probe frontier (Lemma 3.3) so the live monitors can
         check the fan-out; overlapped initiations skip the stamp (the
         frontier is only defined in quiescent states).
+
+        Also the cost meter's feed point: initiations arrive here in
+        order, which is exactly the prefix ``σ`` the per-edge DP runs on.
         """
+        if self.cost_meter is not None:
+            self.cost_meter.observe(request)
         if request.op == WRITE:
             self.trace.emit(self.now, "write_begin", request.node, req=req_id)
         elif request.op == COMBINE and self.trace.enabled:
@@ -447,6 +484,9 @@ class NodeRuntime:
         ``rename_neighbor``) — they are protocol decisions, not plumbing.
         """
         self.tree = tree
+        # The cost meter's per-edge DP is defined over one static tree;
+        # membership churn invalidates it, so accounting stops here.
+        self.cost_meter = None
         self.network.set_topology(tree)
         for node in self.router.nodes.values():
             node.tree = tree

@@ -19,12 +19,20 @@ those quantities first-class at runtime:
     Streaming lemma checkers on the trace event bus; violations raise
     structured :class:`MonitorViolation` in tests/CI and print as warnings
     in the CLI.
+``repro.obs.perf``
+    :class:`PerfProfiler` — wall-clock phase timers and counters threaded
+    through the hot paths, with a null-object disabled mode, collapsed
+    (flamegraph) stacks and per-phase histograms.
+``repro.obs.costmeter``
+    :class:`CostMeter` — streaming per-edge DP accountant comparing the
+    observed message cost against the offline OPT lower bound live.
 
 The engines in :mod:`repro.core.engine` populate all of it: every run gets
 a registry and spans for free; enabling tracing additionally feeds the
 event bus (and therefore the monitors and the exporter).
 """
 
+from repro.obs.costmeter import CostMeter, CostReport
 from repro.obs.export import (
     dumps_events,
     event_from_dict,
@@ -56,9 +64,23 @@ from repro.obs.monitors import (
     attach_standard_monitors,
     expected_probe_edges,
 )
+from repro.obs.perf import (
+    NULL_PROFILER,
+    NullProfiler,
+    PerfProfiler,
+    PHASE_SECONDS_BUCKETS,
+    parse_collapsed,
+)
 from repro.obs.spans import RequestSpan, probe_fanout_from_events, span_summary
 
 __all__ = [
+    "CostMeter",
+    "CostReport",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "PerfProfiler",
+    "PHASE_SECONDS_BUCKETS",
+    "parse_collapsed",
     "Counter",
     "Gauge",
     "Histogram",

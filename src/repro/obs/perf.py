@@ -1,0 +1,268 @@
+"""Wall-clock phase profiling with a near-zero-overhead disabled mode.
+
+The virtual-time telemetry of PR 2 (:mod:`repro.obs.metrics`,
+:mod:`repro.obs.spans`) answers *protocol* questions — how many messages,
+which edges, what latency in simulated time.  It says nothing about where
+the **wall clock** goes, which is the question the ROADMAP's flat-engine
+work needs answered (the throughput collapse from ~26k req/s at n=7 to
+~1k req/s at n=255 is a Python-execution problem, not a protocol one).
+
+:class:`PerfProfiler` is an explicit phase profiler: the hot paths —
+the :class:`~repro.sim.scheduler.Simulator` event loop, the
+:class:`~repro.core.runtime.Router` dispatch into
+``LeaseNode.on_message``, the reliable layer's retransmit path, the
+recovery manager's checkpoint sweeps — push/pop named phases around their
+work.  Per phase it accumulates call counts, inclusive seconds and *self*
+seconds (inclusive minus time attributed to nested phases), and optionally
+
+* a collapsed-stack table (``"a;b;c" -> self-seconds``) ready for any
+  flamegraph renderer (:meth:`PerfProfiler.write_collapsed` emits the
+  standard one-line-per-stack format, :func:`parse_collapsed` reads it
+  back), and
+* per-phase wall-clock histograms into an existing
+  :class:`~repro.obs.metrics.MetricsRegistry` (instrument
+  ``perf_phase_seconds`` labeled by ``phase``).
+
+**Disabled mode is the null-object pattern**: hot paths hold an optional
+profiler and guard with ``profiler is not None and profiler.enabled`` —
+one attribute load and a branch, no allocation, no per-message attribute
+on any node.  :data:`NULL_PROFILER` (a :class:`NullProfiler`) is a shared
+do-nothing instance for call sites that prefer unconditional calls.
+
+The profiler is deliberately *not* threaded into ``LeaseNode`` itself:
+the automaton's ``on_message`` stays byte-identical, and per-message-kind
+attribution happens one frame up, in the router (phase
+``mechanism.<kind>``).
+"""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_PROFILER",
+    "NullProfiler",
+    "PerfProfiler",
+    "PHASE_SECONDS_BUCKETS",
+    "parse_collapsed",
+]
+
+#: Histogram bucket bounds for ``perf_phase_seconds`` — log-spaced from a
+#: microsecond (one dispatch) to a second (a whole benchmark phase).
+PHASE_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0,
+)
+
+#: Scale used when rendering collapsed stacks: flamegraph tooling expects
+#: integer sample counts, so self-seconds are written as microseconds.
+_COLLAPSED_SCALE = 1_000_000
+
+
+class _Phase:
+    """Context-manager view over one push/pop pair (``with prof.phase(n):``)."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "PerfProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._profiler.push(self._name)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._profiler.pop()
+
+
+class PerfProfiler:
+    """Explicit wall-clock phase profiler (push/pop named phases).
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`MetricsRegistry`; when given, every phase exit
+        observes its inclusive duration into the ``perf_phase_seconds``
+        histogram labeled ``phase=<name>``.
+    collect_stacks:
+        Accumulate the collapsed-stack table (sampling mode).  Off, the
+        profiler keeps only the flat per-phase totals.
+    clock:
+        Injectable time source (defaults to :func:`time.perf_counter`);
+        tests substitute a deterministic counter.
+
+    Notes
+    -----
+    Phases nest: ``self`` seconds exclude time spent in nested phases, so
+    ``sum(self_seconds) == total wall time inside root phases`` and the
+    collapsed-stack table is exact (no sampling error — this is a tracing
+    profiler that *emits* the sampling-profiler interchange format).
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        collect_stacks: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self.collect_stacks = collect_stacks
+        self._clock = clock
+        #: phase name -> number of completed push/pop pairs.
+        self.phase_count: Dict[str, int] = {}
+        #: phase name -> inclusive seconds (nested phases included).
+        self.phase_total: Dict[str, float] = {}
+        #: phase name -> self seconds (nested phases excluded).
+        self.phase_self: Dict[str, float] = {}
+        #: named event counters (``count``).
+        self.counters: Dict[str, int] = {}
+        #: ``"root;child;leaf" -> self seconds`` (collapsed-stack table).
+        self.stacks: Dict[str, float] = {}
+        self._names: List[str] = []
+        self._starts: List[float] = []
+        self._child: List[float] = []
+
+    # ------------------------------------------------------------- recording
+    def push(self, name: str) -> None:
+        """Enter phase ``name`` (nested under the current phase, if any)."""
+        self._names.append(name)
+        self._starts.append(self._clock())
+        self._child.append(0.0)
+
+    def pop(self) -> float:
+        """Exit the current phase; returns its inclusive duration."""
+        end = self._clock()
+        name = self._names.pop()
+        elapsed = end - self._starts.pop()
+        child = self._child.pop()
+        self_time = elapsed - child
+        if self_time < 0.0:  # clock granularity underflow
+            self_time = 0.0
+        self.phase_count[name] = self.phase_count.get(name, 0) + 1
+        self.phase_total[name] = self.phase_total.get(name, 0.0) + elapsed
+        self.phase_self[name] = self.phase_self.get(name, 0.0) + self_time
+        if self._child:
+            self._child[-1] += elapsed
+        if self.collect_stacks:
+            key = ";".join(self._names) + ";" + name if self._names else name
+            self.stacks[key] = self.stacks.get(key, 0.0) + self_time
+        if self.registry is not None:
+            self.registry.histogram(
+                "perf_phase_seconds", buckets=PHASE_SECONDS_BUCKETS, phase=name
+            ).observe(elapsed)
+        return elapsed
+
+    def phase(self, name: str) -> _Phase:
+        """``with profiler.phase("name"):`` convenience around push/pop."""
+        return _Phase(self, name)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump the named event counter by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @property
+    def depth(self) -> int:
+        """Current phase-stack depth (0 outside any phase)."""
+        return len(self._names)
+
+    # --------------------------------------------------------------- export
+    def collapsed_lines(self) -> List[str]:
+        """The collapsed-stack table as flamegraph-format lines.
+
+        One ``frame;frame;frame <microseconds>`` line per distinct stack,
+        sorted for determinism; zero-weight stacks are dropped (a renderer
+        would ignore them anyway).
+        """
+        out = []
+        for key in sorted(self.stacks):
+            weight = int(round(self.stacks[key] * _COLLAPSED_SCALE))
+            if weight > 0:
+                out.append(f"{key} {weight}")
+        return out
+
+    def write_collapsed(self, path: str) -> int:
+        """Write :meth:`collapsed_lines` to ``path``; returns the line count."""
+        lines = self.collapsed_lines()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic JSON-safe dump of everything recorded so far."""
+        phases = {
+            name: {
+                "count": self.phase_count[name],
+                "total_s": self.phase_total[name],
+                "self_s": self.phase_self[name],
+            }
+            for name in sorted(self.phase_count)
+        }
+        return {
+            "enabled": self.enabled,
+            "phases": phases,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "stacks": {k: self.stacks[k] for k in sorted(self.stacks)},
+        }
+
+
+class NullProfiler(PerfProfiler):
+    """The disabled profiler: every operation is a no-op.
+
+    ``enabled`` is ``False`` so guarded hot paths skip it entirely; call
+    sites that invoke it unconditionally pay one no-op method call and
+    allocate nothing (``phase`` hands back one shared, reusable context
+    manager).
+    """
+
+    enabled: bool = False
+
+    def __init__(self) -> None:
+        super().__init__(registry=None, collect_stacks=False)
+        self._null_phase = _Phase(self, "")
+
+    def push(self, name: str) -> None:  # noqa: ARG002 - interface parity
+        return None
+
+    def pop(self) -> float:
+        return 0.0
+
+    def phase(self, name: str) -> _Phase:  # noqa: ARG002 - interface parity
+        return self._null_phase
+
+    def count(self, name: str, amount: int = 1) -> None:  # noqa: ARG002
+        return None
+
+
+#: Shared do-nothing profiler for unconditional call sites.
+NULL_PROFILER = NullProfiler()
+
+
+def parse_collapsed(lines: Iterable[str]) -> Dict[str, float]:
+    """Parse flamegraph collapsed-stack lines back to ``stack -> seconds``.
+
+    Inverse of :meth:`PerfProfiler.collapsed_lines` up to the integer
+    microsecond rounding the format imposes.
+    """
+    out: Dict[str, float] = {}
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        key, _, weight = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"malformed collapsed-stack line: {raw!r}")
+        out[key] = out.get(key, 0.0) + int(weight) / _COLLAPSED_SCALE
+    return out

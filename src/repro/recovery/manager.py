@@ -184,6 +184,11 @@ class RecoveryManager:
 
     # ----------------------------------------------------------- checkpoints
     def _checkpoint_tick(self) -> None:
+        prof = self.runtime.profiler
+        if prof is not None and prof.enabled:
+            with prof.phase("recovery.checkpoint"):
+                self.checkpoint_now()
+            return
         self.checkpoint_now()
 
     def checkpoint_now(self, node_id: Optional[int] = None) -> List[Checkpoint]:
@@ -246,6 +251,15 @@ class RecoveryManager:
         """Expire leases whose peer has been silent longer than the TTL."""
         if self.expiry is None:
             return
+        prof = self.runtime.profiler
+        if prof is not None and prof.enabled:
+            with prof.phase("recovery.sweep"):
+                self._sweep_body()
+            return
+        self._sweep_body()
+
+    def _sweep_body(self) -> None:
+        assert self.expiry is not None
         now = self.runtime.now
         for nid in sorted(self.runtime.nodes):
             if nid in self.runtime.crashed:

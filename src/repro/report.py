@@ -117,6 +117,22 @@ def summarize_run(result: ExecutionResult, title: str = "run summary") -> str:
             "hottest edges: "
             + ", ".join(f"{u}-{v} ({n} msgs)" for (u, v), n in hottest)
         )
+    if result.cost is not None:
+        cost = result.cost
+        ratio = f"{cost.ratio:.3f}" if cost.ratio != float("inf") else "inf"
+        partial = " (partial: scoped combines skipped)" if cost.partial else ""
+        lines.append(
+            f"cost vs OPT: observed {cost.observed}, lower bound "
+            f"{cost.opt_lower_bound}, live ratio {ratio}{partial}"
+        )
+        worst = [(e, obs, opt) for e, obs, opt in cost.regret if obs - opt > 0][:3]
+        if worst:
+            lines.append(
+                "  top regret: "
+                + ", ".join(
+                    f"{u}->{v} (+{obs - opt})" for (u, v), obs, opt in worst
+                )
+            )
     if combines:
         last = combines[-1]
         lines.append(f"last combine @ node {last.node}: {last.retval!r}")
@@ -179,6 +195,8 @@ def summarize_run_data(result: ExecutionResult, title: str = "run summary") -> D
         ],
         "spans": span_summary(result.spans),
     }
+    if result.cost is not None:
+        data["cost"] = result.cost.to_dict()
     if len(result.trace):
         data["lease_churn"] = {
             "grants": result.trace.count("lease_granted"),

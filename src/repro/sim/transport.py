@@ -137,6 +137,7 @@ def build_transport(
     stats: Optional[MessageStats] = None,
     trace: Optional[TraceLog] = None,
     metrics: Any = None,
+    profiler: Any = None,
 ) -> Transport:
     """Assemble the transport stack described by ``config``.
 
@@ -154,6 +155,9 @@ def build_transport(
         Fallback RNG seed when ``config.seed`` is ``None``.
     stats / trace / metrics:
         Shared accounting objects threaded through every layer.
+    profiler:
+        Optional wall-clock phase profiler (duck-typed); currently only
+        the reliable layer's retransmit path consumes it.
     """
     transport_seed = config.seed if config.seed is not None else seed
     if config.synchronous:
@@ -172,6 +176,7 @@ def build_transport(
             stats=stats,
             trace=trace,
             metrics=metrics,
+            profiler=profiler,
         )
     if config.plan is not None:
         return FaultyNetwork(
