@@ -21,6 +21,8 @@ deterministic golden tests, not here):
 
 * ``dispatch``     — warm-probe deliveries/sec through ``LeaseNode.on_message``
 * ``scalability``  — sequential-engine requests/sec on a balanced binary tree
+* ``flat``         — flat-backend requests/sec on the n=1023 path workload
+                     (cross-checked against the reference backend's counts)
 * ``messages``     — requests/sec across the four golden workloads
 * ``churn``        — dynamic-engine churn ops/sec (oracle-checked)
 """
@@ -112,6 +114,42 @@ def bench_scalability(quick: bool) -> Dict[str, Any]:
             "n": n, "length": length, "messages": messages}
 
 
+def bench_flat(quick: bool) -> Dict[str, Any]:
+    """Flat-backend requests/sec on the n=1023 path workload (the
+    execution-backend seam's headline configuration; ``--quick`` drops to
+    n=255).  Also records the speedup over the reference backend — gated
+    loosely here (the hard >=10x floor lives in
+    ``bench_scalability.test_flat_speedup_at_path_1023``)."""
+    from repro import AggregationSystem, path_tree
+    from repro.workloads import uniform_workload
+    from repro.workloads.requests import copy_sequence
+
+    n = 255 if quick else 1023
+    length = 150 if quick else 300
+    tree = path_tree(n)
+    wl = uniform_workload(tree.n, length, read_ratio=0.5, seed=41)
+
+    def run(backend: str) -> tuple:
+        best_dt, messages = float("inf"), 0
+        for _ in range(2):
+            system = AggregationSystem(tree, backend=backend)
+            t0 = time.perf_counter()
+            result = system.run(copy_sequence(wl))
+            best_dt = min(best_dt, time.perf_counter() - t0)
+            messages = result.total_messages
+        return best_dt, messages
+
+    flat_dt, flat_msgs = run("flat")
+    ref_dt, ref_msgs = run("reference")
+    if flat_msgs != ref_msgs:
+        raise SystemExit(
+            f"flat bench: backends disagree on messages ({flat_msgs} vs {ref_msgs})"
+        )
+    return {"throughput": length / flat_dt, "unit": "requests/sec",
+            "n": n, "length": length, "messages": flat_msgs,
+            "speedup_vs_reference": round(ref_dt / flat_dt, 2)}
+
+
 def bench_messages(quick: bool) -> Dict[str, Any]:
     """Requests/sec (and exact message totals) across the four golden
     workloads of ``tests/test_golden.py``, run under RWW."""
@@ -154,6 +192,7 @@ def bench_churn(quick: bool) -> Dict[str, Any]:
 BENCHES = {
     "dispatch": bench_dispatch,
     "scalability": bench_scalability,
+    "flat": bench_flat,
     "messages": bench_messages,
     "churn": bench_churn,
 }

@@ -20,7 +20,10 @@ Package layout
 ``repro.ops``          aggregation operators (commutative monoids)
 ``repro.tree``         tree topologies and generators
 ``repro.sim``          discrete-event simulation substrate
-``repro.core``         the lease mechanism, RWW, and execution engines
+``repro.core``         the lease mechanism, RWW, execution engines, and the
+                       execution-backend seam (``core.backend``)
+``repro.flat``         vectorized flat backend: array state, interned
+                       messages, batched delivery (``backend="flat"``)
 ``repro.offline``      offline-optimal comparators (per-edge DP, nice bound)
 ``repro.consistency``  strict and causal consistency checkers
 ``repro.workloads``    request model and synthetic/adversarial generators
@@ -30,6 +33,7 @@ Package layout
                        trace export/replay, live lemma monitors
 """
 
+from repro.core.backend import BACKENDS, BackendUnsupported, build_backend
 from repro.core.engine import (
     AggregationSystem,
     CombineTimeout,
@@ -78,6 +82,9 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AggregationSystem",
+    "BACKENDS",
+    "BackendUnsupported",
+    "build_backend",
     "CombineTimeout",
     "ConcurrentAggregationSystem",
     "ExecutionResult",

@@ -10,9 +10,14 @@
   Figure 1), the paper's online policy **RWW** (Section 4), generic
   ``(a, b)``-algorithms on observable workloads, always-lease
   (Astrolabe-like) and never-lease (MDS-2-like) extremes.
-  (``repro.core.policy`` and ``repro.core.rww`` are deprecated aliases.)
+  (The ``repro.core.policy`` / ``repro.core.rww`` aliases are gone; the
+  protolint rule PL401 flags any import of them.)
+* :mod:`repro.core.backend` — the execution-backend seam: the
+  :class:`~repro.core.backend.Backend` protocol, shared telemetry, and
+  the :func:`~repro.core.backend.build_backend` factory selecting
+  between the reference runtime and :mod:`repro.flat`.
 * :mod:`repro.core.runtime` — the shared node-runtime (node map, router,
-  telemetry hooks, quiescence checking) every engine drives.
+  telemetry hooks, quiescence checking): the **reference backend**.
 * :mod:`repro.core.engine` — sequential (Section 2) and concurrent
   (Section 5) execution engines sharing the same node code.
 * :mod:`repro.core.ghost` — Section 5's ghost-log instrumentation

@@ -60,7 +60,16 @@ class DynamicAggregationSystem(AggregationSystem):
     before returning, so every topology change completes in a quiescent
     state.  Requests execute exactly as in
     :class:`~repro.core.engine.AggregationSystem` (including telemetry).
+
+    Topology changes need the reference backend's attach/detach/rename
+    primitives, so ``backend="flat"`` here *falls back* to the reference
+    backend instead of raising (``_backend_require``/``_backend_fallback``
+    below) — callers sweeping the backend axis over mixed workloads don't
+    have to special-case the dynamic engine.
     """
+
+    _backend_require = ("dynamic",)
+    _backend_fallback = True
 
     def __init__(
         self,
@@ -73,6 +82,7 @@ class DynamicAggregationSystem(AggregationSystem):
         seed: int = 0,
         profiler: Optional[Any] = None,
         cost_accounting: bool = False,
+        backend: str = "reference",
     ) -> None:
         super().__init__(
             tree,
@@ -84,6 +94,7 @@ class DynamicAggregationSystem(AggregationSystem):
             seed=seed,
             profiler=profiler,
             cost_accounting=cost_accounting,
+            backend=backend,
         )
         self._edges: Set[Tuple[int, int]] = {tuple(sorted(e)) for e in tree.edges}
         self._live: Set[int] = set(tree.nodes())

@@ -9,10 +9,13 @@
   latency-ful network; combines may overlap with writes and each other.
   This is the setting of the causal-consistency theorem (Theorem 4).
 
-Both engines are thin *drivers* over one shared
-:class:`~repro.core.runtime.NodeRuntime`, which owns the node map, the
-message routing, the telemetry hooks and the quiescent-invariant battery.
-The transport underneath is assembled by
+Both engines are thin *drivers* over one shared execution backend,
+selected by name through :func:`~repro.core.backend.build_backend`: the
+``reference`` backend (:class:`~repro.core.runtime.NodeRuntime`, which
+owns the node map, the message routing, the telemetry hooks and the
+quiescent-invariant battery) or the ``flat`` backend
+(:class:`~repro.flat.runtime.FlatRuntime`, the vectorized engine for
+large synchronous runs).  The transport underneath is assembled by
 :func:`~repro.sim.transport.build_transport` from a declarative
 :class:`~repro.sim.transport.TransportConfig`, so either driver runs over
 any stack: the plain wire, a lossy one
@@ -35,11 +38,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.backend import Backend, BackendUnsupported, build_backend
 from repro.core.mechanism import LeaseNode
 from repro.core.policies import RWWPolicy
 from repro.core.runtime import (
     SYSTEM_NODE,
-    NodeRuntime,
     PolicyFactory,
     check_quiescent_invariants,
 )
@@ -61,6 +64,7 @@ from repro.workloads.requests import COMBINE, WRITE, Request
 
 __all__ = [
     "AggregationSystem",
+    "BackendUnsupported",
     "CombineTimeout",
     "ConcurrentAggregationSystem",
     "ExecutionResult",
@@ -155,16 +159,24 @@ class ExecutionResult:
 
 
 class _RuntimeDriver:
-    """Delegation surface every engine shares over its
-    :class:`~repro.core.runtime.NodeRuntime`.
+    """Delegation surface every engine shares over its execution backend.
 
-    The runtime owns the state; the engine exposes the historical public
-    attributes (``tree``, ``nodes``, ``network``, ``stats``, ``trace``,
-    ``metrics``, ``spans``, ``sim``) as read-only views onto it.
+    The backend (the :class:`~repro.core.runtime.NodeRuntime` reference
+    implementation or the flat engine, selected through
+    :func:`~repro.core.backend.build_backend`) owns the state; the engine
+    exposes the historical public attributes (``tree``, ``nodes``,
+    ``network``, ``stats``, ``trace``, ``metrics``, ``spans``, ``sim``)
+    as read-only views onto it.
     """
 
-    runtime: NodeRuntime
+    runtime: Backend
     executed: List[Request]
+
+    @property
+    def backend_name(self) -> str:
+        """Which execution backend is driving this engine
+        (``"reference"`` or ``"flat"``)."""
+        return self.runtime.backend_name
 
     @property
     def tree(self) -> Tree:
@@ -271,6 +283,16 @@ class AggregationSystem(_RuntimeDriver):
         the reliability layer.
     seed:
         Engine seed, inherited by the transport unless its config pins one.
+    backend:
+        Execution backend name — ``"reference"`` (the default
+        :class:`~repro.core.runtime.NodeRuntime`) or ``"flat"`` (the
+        vectorized engine in :mod:`repro.flat`).  The flat backend hosts
+        synchronous, static-topology runs only and raises
+        :class:`~repro.core.backend.BackendUnsupported` otherwise.
+    backend_options:
+        Backend-specific keywords forwarded by
+        :func:`~repro.core.backend.build_backend` (e.g. the flat
+        backend's ``coalesce_updates``).
 
     Examples
     --------
@@ -281,6 +303,12 @@ class AggregationSystem(_RuntimeDriver):
     >>> sys_.execute(combine(2)).retval
     5.0
     """
+
+    #: Features subclasses demand from the backend (build_backend's
+    #: ``require``) and whether an unsupported request silently falls back
+    #: to the reference backend — the dynamic engine sets both.
+    _backend_require: Sequence[str] = ()
+    _backend_fallback: bool = False
 
     def __init__(
         self,
@@ -296,8 +324,11 @@ class AggregationSystem(_RuntimeDriver):
         recovery: Optional[Any] = None,
         profiler: Optional[PerfProfiler] = None,
         cost_accounting: bool = False,
+        backend: str = "reference",
+        backend_options: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.runtime = NodeRuntime(
+        self.runtime = build_backend(
+            backend,
             tree,
             op=op,
             policy_factory=policy_factory,
@@ -310,6 +341,9 @@ class AggregationSystem(_RuntimeDriver):
             recovery=recovery,
             profiler=profiler,
             cost_accounting=cost_accounting,
+            backend_options=backend_options,
+            require=self._backend_require,
+            fallback=self._backend_fallback,
         )
         self.executed: List[Request] = []
 
@@ -330,16 +364,12 @@ class AggregationSystem(_RuntimeDriver):
         m0 = rt.stats.total
         mark = rt.trace.mark()
         start = rt.now
-        node = rt.nodes[request.node]
         rt.emit_request_begin(req_id, request)
         if request.op == WRITE:
-            node.write(request)
+            rt.submit_write(request)
         elif request.op == COMBINE:
             done: List[Request] = []
-            if request.scope is None:
-                node.begin_combine(request, done.append)
-            else:
-                node.begin_scoped_combine(request, done.append)
+            rt.submit_combine(request, done.append)
             rt.drain()
             if not done:
                 raise RuntimeError(
@@ -400,12 +430,17 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
         recovery: Optional[Any] = None,
         profiler: Optional[PerfProfiler] = None,
         cost_accounting: bool = False,
+        backend: str = "reference",
+        backend_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if transport is None:
             transport = TransportConfig.simulated(latency=latency, reliability=reliability)
         if not transport.needs_sim:
             raise ValueError("the concurrent engine needs a simulated transport stack")
-        self.runtime = NodeRuntime(
+        # require={"sim"}: the concurrent model needs the event heap, so
+        # asking for the flat backend here fails fast with a clear reason.
+        self.runtime = build_backend(
+            backend,
             tree,
             op=op,
             policy_factory=policy_factory,
@@ -418,6 +453,8 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
             recovery=recovery,
             profiler=profiler,
             cost_accounting=cost_accounting,
+            backend_options=backend_options,
+            require={"sim"},
         )
         self.reliability = transport.reliability
         self.timeouts: List[CombineTimeout] = []
@@ -443,7 +480,6 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
         rt = self.runtime
         request.initiated_at = rt.now
         req_id = len(self.executed)
-        node = rt.nodes[request.node]
         self.executed.append(request)
         if request.node in rt.crashed:
             # Initiating at a down node: fail fast with a structured cause
@@ -469,7 +505,7 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
         mark = rt.trace.mark()
         rt.emit_request_begin(req_id, request, overlapped=overlapped)
         if request.op == WRITE:
-            node.write(request)
+            rt.submit_write(request)
             # Update relays propagate after the write returns; the span
             # only sees the initiating fan-out, so flag any write whose
             # traffic mingles with in-flight messages.
@@ -532,10 +568,7 @@ class ConcurrentAggregationSystem(_RuntimeDriver):
                     )
 
                 rt.sim.schedule(deadline, watchdog, label=f"watchdog node {request.node}")
-            if request.scope is None:
-                node.begin_combine(request, done)
-            else:
-                node.begin_scoped_combine(request, done)
+            rt.submit_combine(request, done)
         else:
             raise ValueError(f"cannot execute op {request.op!r}")
 

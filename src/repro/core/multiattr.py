@@ -85,6 +85,9 @@ class MultiAttributeSystem:
         synchronous queue.
     seed:
         Base seed for per-attribute transports (simulated stacks only).
+    backend:
+        Execution backend for every per-attribute system (``"reference"``
+        or ``"flat"``; see :func:`~repro.core.backend.build_backend`).
     """
 
     def __init__(
@@ -95,6 +98,7 @@ class MultiAttributeSystem:
         policies: Optional[Mapping[str, PolicyFactory]] = None,
         transport: Optional[TransportConfig] = None,
         seed: int = 0,
+        backend: str = "reference",
     ) -> None:
         if not attributes:
             raise ValueError("need at least one attribute")
@@ -109,6 +113,7 @@ class MultiAttributeSystem:
                 policy_factory=factory,
                 transport=transport,
                 seed=seed + index,
+                backend=backend,
             )
         self.total_unbatched = 0
         self.total_batched = 0

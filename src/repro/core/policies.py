@@ -37,8 +37,9 @@ read its state (``tkn()``, ``grntd()``, ``uaw`` …) but must mutate only
 their own bookkeeping — the mechanism owns the protocol state.
 
 .. note::
-   ``repro.core.policy`` and ``repro.core.rww`` are deprecated aliases of
-   this module, kept as thin re-export shims for one release.
+   The historical ``repro.core.policy`` / ``repro.core.rww`` aliases were
+   shims for one release and have been removed; the protolint rule PL401
+   flags any import of them with a fix hint pointing here.
 """
 
 from __future__ import annotations

@@ -38,13 +38,13 @@ import copy
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
+from repro.core.backend import RuntimeTelemetry
 from repro.core.mechanism import LeaseNode
 from repro.core.policies import LeasePolicy, RWWPolicy
 from repro.obs.costmeter import CostMeter
-from repro.obs.metrics import LATENCY_BUCKETS, MetricsBridge, MetricsRegistry
+from repro.obs.metrics import MetricsBridge, MetricsRegistry
 from repro.obs.perf import PerfProfiler
-from repro.obs.monitors import expected_probe_edges
-from repro.obs.spans import RequestSpan, probe_fanout_from_events
+from repro.obs.spans import RequestSpan
 from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
 from repro.sim.scheduler import Simulator
@@ -52,7 +52,7 @@ from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceLog
 from repro.sim.transport import Transport, TransportConfig, build_transport
 from repro.tree.topology import Tree
-from repro.workloads.requests import COMBINE, WRITE, Request
+from repro.workloads.requests import Request
 
 #: Builds a fresh policy instance for one node.
 PolicyFactory = Callable[[], LeasePolicy]
@@ -116,7 +116,7 @@ class Router:
         return len(self.nodes)
 
 
-class NodeRuntime:
+class NodeRuntime(RuntimeTelemetry):
     """Everything the engines share: nodes, transport, telemetry, lemmas.
 
     Parameters
@@ -146,6 +146,9 @@ class NodeRuntime:
         model checker's mutation tests run a faulty ``LeaseNode`` through
         the stock runtime this way.
     """
+
+    #: Backend-seam identity (see :func:`repro.core.backend.build_backend`).
+    backend_name = "reference"
 
     def __init__(
         self,
@@ -305,103 +308,28 @@ class NodeRuntime:
         """
         return copy.deepcopy(self)
 
-    # -------------------------------------------------------------- telemetry
-    def emit_request_begin(
-        self, req_id: int, request: Request, overlapped: bool = False
+    # -------------------------------------------------------------- requests
+    #
+    # The engines initiate requests through these two methods (the
+    # Backend protocol's driving surface) rather than reaching into the
+    # node objects, so backends without per-node objects — the flat
+    # backend — can host the same engines.  Telemetry
+    # (emit_request_begin / finish_span / emit_quiescent) is inherited
+    # from :class:`~repro.core.backend.RuntimeTelemetry`.
+
+    def submit_write(self, request: Request) -> None:
+        """Initiate a write (T2) at ``request.node``; no draining."""
+        self.nodes[request.node].write(request)
+
+    def submit_combine(
+        self, request: Request, on_complete: Callable[[Request], None]
     ) -> None:
-        """Emit the ``write_begin`` / ``combine_begin`` event for a request.
-
-        Unscoped combines initiated at quiescence are stamped with the
-        expected probe frontier (Lemma 3.3) so the live monitors can
-        check the fan-out; overlapped initiations skip the stamp (the
-        frontier is only defined in quiescent states).
-
-        Also the cost meter's feed point: initiations arrive here in
-        order, which is exactly the prefix ``σ`` the per-edge DP runs on.
-        """
-        if self.cost_meter is not None:
-            self.cost_meter.observe(request)
-        if request.op == WRITE:
-            self.trace.emit(self.now, "write_begin", request.node, req=req_id)
-        elif request.op == COMBINE and self.trace.enabled:
-            detail: Dict[str, Any] = {"req": req_id}
-            if request.scope is not None:
-                detail["scope"] = request.scope
-            elif not overlapped:
-                detail["expected_probes"] = [
-                    list(e)
-                    for e in sorted(expected_probe_edges(self.nodes, request.node))
-                ]
-            self.trace.emit(self.now, "combine_begin", request.node, **detail)
-
-    def observe_span(self, span: RequestSpan) -> None:
-        """Record one completed span: spans list, metrics, trace event.
-
-        The trace detail is built by
-        :meth:`~repro.obs.spans.RequestSpan.to_event_detail`, which
-        excludes the redundant ``node`` field without mutating any dict a
-        caller might also hold (the event's own ``node`` field carries it).
-        """
-        self.spans.append(span)
-        self.metrics.counter("requests_total", node=span.node, op=span.op).inc()
-        self.metrics.histogram("messages_per_request", op=span.op).observe(span.messages)
-        if span.op == COMBINE:
-            self.metrics.histogram("combine_latency", buckets=LATENCY_BUCKETS).observe(
-                span.duration
-            )
-            if span.failure is not None:
-                self.metrics.counter(
-                    "request_failures_total", node=span.node, kind=span.failure
-                ).inc()
-        self.trace.emit(span.end, "span", span.node, **span.to_event_detail())
-
-    def finish_span(
-        self,
-        req_id: int,
-        request: Request,
-        *,
-        start: float,
-        end: float,
-        m0: int,
-        mark: Optional[int] = None,
-        overlapped: bool = False,
-        failure: Optional[str] = None,
-    ) -> RequestSpan:
-        """Build and record the span of a finished request.
-
-        ``m0`` is the goodput total at initiation (message attribution is
-        exact only when the request ran alone — ``overlapped`` flags the
-        rest); ``mark`` is the trace cursor at initiation, used to recover
-        the probe fan-out of non-overlapped combines.
-        """
-        fanout = ()
-        if (
-            self.trace.enabled
-            and request.op == COMBINE
-            and not overlapped
-            and failure is None
-            and mark is not None
-        ):
-            fanout = probe_fanout_from_events(self.trace.since(mark))
-        span = RequestSpan(
-            req=req_id,
-            node=request.node,
-            op=request.op,
-            start=start,
-            end=end,
-            messages=self.stats.total - m0,
-            probe_fanout=fanout,
-            scope=request.scope,
-            value=request.retval if request.op == COMBINE else request.arg,
-            failure=failure,
-            overlapped=overlapped,
-        )
-        self.observe_span(span)
-        return span
-
-    def emit_quiescent(self) -> None:
-        """Emit the engine-level ``quiescent`` event (monitors hook on it)."""
-        self.trace.emit(self.now, "quiescent", SYSTEM_NODE)
+        """Initiate a (scoped) combine (T1) at ``request.node``; no draining."""
+        node = self.nodes[request.node]
+        if request.scope is None:
+            node.begin_combine(request, on_complete)
+        else:
+            node.begin_scoped_combine(request, on_complete)
 
     # -------------------------------------------------------- crash recovery
     def add_failure_listener(self, fn: Callable[[List[Request]], None]) -> None:

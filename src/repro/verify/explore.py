@@ -66,8 +66,9 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.consistency.causal import check_causal_consistency
 from repro.consistency.strict import check_strict_consistency
+from repro.core.backend import Backend, build_backend
 from repro.core.mechanism import LeaseNode
-from repro.core.runtime import NodeRuntime, PolicyFactory
+from repro.core.runtime import PolicyFactory
 from repro.core.policies import RWWPolicy
 from repro.ops.monoid import AggregationOperator
 from repro.ops.standard import SUM
@@ -226,7 +227,7 @@ def _noop_complete(request: Request) -> None:
 class _World:
     """One point of the schedule tree: a forked runtime plus script cursor."""
 
-    def __init__(self, runtime: NodeRuntime, script: List[OpSpec]) -> None:
+    def __init__(self, runtime: Backend, script: List[OpSpec]) -> None:
         self.runtime = runtime
         self.script = script
         self.pos = 0
@@ -276,7 +277,6 @@ class _World:
             self.serial = False
             self.runtime.recover(spec.node)
             return
-        node = self.runtime.nodes[spec.node]
         if spec.node in self.runtime.crashed:
             # The engines fast-fail initiations at a down node; mirror that.
             request = write(spec.node, spec.arg) if spec.kind == WRITE else combine(
@@ -288,11 +288,11 @@ class _World:
         if spec.kind == WRITE:
             request = write(spec.node, spec.arg)
             self.requests.append(request)
-            node.write(request)
+            self.runtime.submit_write(request)
         else:
             request = combine(spec.node)
             self.requests.append(request)
-            node.begin_combine(request, _noop_complete)
+            self.runtime.submit_combine(request, _noop_complete)
 
     # --------------------------------------------------------------- state
     def state_key(self) -> Tuple[Any, ...]:
@@ -329,6 +329,13 @@ class Explorer:
         a proof of the scope).
     max_violations:
         Stop collecting after this many violations.
+    backend:
+        Execution backend the worlds run on (``"reference"`` or
+        ``"flat"``).  Exploring the flat backend checks the *optimized*
+        engine against the same lemma/consistency oracles — its
+        ``state_snapshot``/``fork`` are part of the Backend protocol for
+        exactly this purpose.  Mutation testing (``node_cls``) stays
+        reference-only: the flat backend has no node class to subclass.
     """
 
     def __init__(
@@ -341,6 +348,7 @@ class Explorer:
         node_cls: type = LeaseNode,
         max_states: int = 500_000,
         max_violations: int = 10,
+        backend: str = "reference",
     ) -> None:
         for spec in script:
             if not (0 <= spec.node < tree.n):
@@ -352,6 +360,7 @@ class Explorer:
         self.node_cls = node_cls
         self.max_states = max_states
         self.max_violations = max_violations
+        self.backend = backend
 
     # ----------------------------------------------------------- independence
     @staticmethod
@@ -437,13 +446,15 @@ class Explorer:
     # --------------------------------------------------------------------- run
     def run(self) -> ExploreResult:
         result = ExploreResult()
-        runtime = NodeRuntime(
+        runtime = build_backend(
+            self.backend,
             self.tree,
-            self.op,
-            self.policy_factory,
-            TransportConfig(),  # synchronous: the model being checked
+            op=self.op,
+            policy_factory=self.policy_factory,
+            transport=TransportConfig(),  # synchronous: the model being checked
             ghost=True,
             node_cls=self.node_cls,
+            require={"explore", "crash"},
         )
         root = _World(runtime, self.script)
         visited: Dict[Tuple[Any, ...], List[FrozenSet[Action]]] = {}

@@ -12,7 +12,7 @@ PL301    layering: ``sim/`` imports from ``repro.core``
 PL302    layering: ``obs/`` imports ``repro.sim`` internals (only
          ``repro.sim.trace`` and ``repro.sim.stats`` are the published
          surface)
-PL401    import of a deprecated shim (``repro.core.policy`` /
+PL401    import of a removed legacy module (``repro.core.policy`` /
          ``repro.core.rww``) instead of ``repro.core.policies``
 =======  ==============================================================
 
@@ -42,10 +42,12 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["Finding", "run_lint", "findings_to_json"]
 
-#: The shims PL401 flags, and the files allowed to mention them (the shims
-#: themselves re-export from ``repro.core.policies`` for one release).
-DEPRECATED_MODULES = {"repro.core.policy", "repro.core.rww"}
-_SHIM_FILES = {("core", "policy.py"), ("core", "rww.py")}
+#: The legacy modules PL401 flags.  These started life as deprecated
+#: one-release shims re-exporting from ``repro.core.policies``; the shim
+#: files are gone now, so *any* import of them is an error — the rule
+#: stays so a stale branch resurrecting one gets a structured finding
+#: (with a fix hint) instead of an ImportError deep inside a run.
+REMOVED_MODULES = {"repro.core.policy", "repro.core.rww"}
 
 #: The only ``repro.sim`` modules ``obs/`` may import (PL302): the trace
 #: event bus and the message-count value objects.  Transports, channels and
@@ -380,16 +382,14 @@ def _lint_layering(
                 )
 
 
-# ------------------------------------------------- PL401: deprecated imports
-def _lint_deprecated_imports(
+# ---------------------------------------------- PL401: removed-module imports
+def _lint_removed_imports(
     roots: List[Path], project_root: Optional[Path], findings: List[Finding]
 ) -> None:
     for root in roots:
         if not root.is_dir():
             continue
         for path in _python_files(root):
-            if (path.parent.name, path.name) in _SHIM_FILES:
-                continue
             rel = _rel(path, project_root)
             module = _parse(path, rel, findings)
             if module is None:
@@ -399,7 +399,7 @@ def _lint_deprecated_imports(
                 hit = next(
                     (
                         d
-                        for d in sorted(DEPRECATED_MODULES)
+                        for d in sorted(REMOVED_MODULES)
                         if mod == d or mod.startswith(d + ".") or full == d
                     ),
                     None,
@@ -410,8 +410,9 @@ def _lint_deprecated_imports(
                             code="PL401",
                             path=rel,
                             line=lineno,
-                            message=f"import of deprecated shim {hit}",
-                            hint="import from repro.core.policies instead",
+                            message=f"import of removed module {hit}",
+                            hint="the policy shims were deleted; import "
+                            "from repro.core.policies instead",
                         )
                     )
 
@@ -426,7 +427,7 @@ def run_lint(
     ``package_root`` is the ``repro`` package directory (defaults to the
     installed/importable one); ``project_root`` is the repo checkout whose
     ``tests/`` and ``benchmarks/`` trees are additionally scanned for
-    deprecated-shim imports (defaults to two levels above the package, the
+    removed-module imports (defaults to two levels above the package, the
     ``src`` layout).  Both are overridable so the test suite can lint
     deliberately-broken fixture trees.
     """
@@ -446,6 +447,6 @@ def run_lint(
     extra = [package_root]
     if project_root is not None:
         extra += [project_root / "tests", project_root / "benchmarks"]
-    _lint_deprecated_imports(extra, project_root, findings)
+    _lint_removed_imports(extra, project_root, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.code))
     return findings

@@ -121,6 +121,40 @@ class TestEngineTransportMatrix:
         assert system.network.summary.give_ups == 0
 
 
+class TestBackendMatrix:
+    """The backend axis: the same golden workload through both execution
+    backends (reference object-graph runtime vs. flat vectorized engine)
+    over the synchronous queue must agree with GOLDEN exactly."""
+
+    @pytest.mark.parametrize("backend", ["reference", "flat"])
+    def test_sequential_engine_backends(self, backend):
+        system = AggregationSystem(TREE, backend=backend, seed=2)
+        result = system.run(copy_sequence(WORKLOAD))
+        assert system.backend_name == backend
+        assert result.combine_results() == GOLDEN
+        assert check_strict_consistency(result.requests, TREE.n) == []
+        assert_lemma_31(system)
+        system.check_quiescent_invariants()
+
+    def test_backends_agree_on_full_accounting(self):
+        ref = AggregationSystem(TREE, seed=2)
+        flat = AggregationSystem(TREE, backend="flat", seed=2)
+        r1 = ref.run(copy_sequence(WORKLOAD))
+        r2 = flat.run(copy_sequence(WORKLOAD))
+        assert r1.total_messages == r2.total_messages
+        assert r1.stats.by_kind() == r2.stats.by_kind()
+        assert r1.stats.snapshot() == r2.stats.snapshot()
+        assert sorted(ref.lease_graph_edges()) == sorted(flat.lease_graph_edges())
+
+    def test_flat_rejects_simulated_transport(self):
+        from repro.core.backend import BackendUnsupported
+
+        with pytest.raises(BackendUnsupported):
+            AggregationSystem(
+                TREE, transport=TRANSPORTS["plain"](), backend="flat"
+            )
+
+
 class TestNewlyEnabledCombinations:
     def test_multiattribute_over_simulated_transport(self):
         """The batching layer rides any stack, not just the synchronous

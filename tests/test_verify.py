@@ -217,13 +217,14 @@ class TestProtolint:
         assert len(pl302) == 2
         assert all(f.path.endswith("bad.py") for f in pl302)
 
-    def test_deprecated_shims_pl401(self, tmp_path):
+    def test_removed_modules_pl401(self, tmp_path):
+        # The policy shims were deleted outright; any import of them —
+        # even inside a file named like the old shim — is flagged.
         root = _fixture_pkg(
             tmp_path,
             **{
                 "core/legacy_user.py": "from repro.core.policy import LeasePolicy\n",
-                # The shim itself is exempt.
-                "core/policy.py": "from repro.core.policies import LeasePolicy\n",
+                "core/policy.py": "from repro.core.rww import RWWPolicy\n",
             },
         )
         (tmp_path / "tests").mkdir()
@@ -234,8 +235,10 @@ class TestProtolint:
         pl401 = [f for f in findings if f.code == "PL401"]
         assert {f.path.rsplit("/", 1)[-1] for f in pl401} == {
             "legacy_user.py",
+            "policy.py",
             "test_old.py",
         }
+        assert all("removed module" in f.message for f in pl401)
 
     def test_syntax_error_reported_not_raised(self, tmp_path):
         root = _fixture_pkg(tmp_path, **{"core/broken.py": "def f(:\n"})
