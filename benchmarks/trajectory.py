@@ -152,7 +152,9 @@ def bench_flat(quick: bool) -> Dict[str, Any]:
 
 def bench_messages(quick: bool) -> Dict[str, Any]:
     """Requests/sec (and exact message totals) across the four golden
-    workloads of ``tests/test_golden.py``, run under RWW."""
+    workloads of ``tests/test_golden.py``, run under RWW.  Best-of-3
+    passes: like the other benches, a single pass is too exposed to
+    scheduler contention bursts for a 25% regression gate."""
     from bench_mechanism_ops import _golden_scenarios
 
     from repro import AggregationSystem
@@ -160,15 +162,17 @@ def bench_messages(quick: bool) -> Dict[str, Any]:
 
     scenarios = _golden_scenarios()
     totals: Dict[str, int] = {}
-    requests = 0
-    t0 = time.perf_counter()
-    for name, (tree, wl) in scenarios.items():
-        system = AggregationSystem(tree)
-        result = system.run(copy_sequence(wl))
-        totals[name] = result.total_messages
-        requests += len(result.requests)
-    dt = time.perf_counter() - t0
-    return {"throughput": requests / dt, "unit": "requests/sec",
+    best_dt, requests = float("inf"), 0
+    for _ in range(3):
+        requests = 0
+        t0 = time.perf_counter()
+        for name, (tree, wl) in scenarios.items():
+            system = AggregationSystem(tree)
+            result = system.run(copy_sequence(wl))
+            totals[name] = result.total_messages
+            requests += len(result.requests)
+        best_dt = min(best_dt, time.perf_counter() - t0)
+    return {"throughput": requests / best_dt, "unit": "requests/sec",
             "messages": totals}
 
 
