@@ -193,12 +193,40 @@ def bench_churn(quick: bool) -> Dict[str, Any]:
                                 for k in ("join", "crash", "recover", "leave"))}
 
 
+def bench_serve(quick: bool) -> Dict[str, Any]:
+    """Live-deployment requests/sec over a real 7-process TCP tree,
+    mirroring ``bench_serve.test_serve_throughput`` (merged traces
+    re-verified; ``--quick`` drops the request count)."""
+    import asyncio
+    import tempfile
+
+    from bench_serve import NODES, drive_cluster, percentile
+
+    from repro.net import merge_run_dir, verify_merged
+
+    requests = 30 if quick else 60
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as run_dir:
+        latencies, wall, failed = asyncio.run(drive_cluster(run_dir, requests))
+        if failed:
+            raise SystemExit(f"serve bench: {failed} requests failed")
+        events, _, synthesized = merge_run_dir(run_dir)
+        verdict = verify_merged(events, n_nodes=NODES)
+        if synthesized or not verdict["ok"]:
+            raise SystemExit(f"serve bench: merged-trace verification failed: {verdict}")
+    samples = [s for v in latencies.values() for s in v]
+    return {"throughput": len(samples) / wall, "unit": "requests/sec",
+            "nodes": NODES, "requests": len(samples),
+            "p50_ms": round(percentile(samples, 0.50) * 1e3, 3),
+            "p99_ms": round(percentile(samples, 0.99) * 1e3, 3)}
+
+
 BENCHES = {
     "dispatch": bench_dispatch,
     "scalability": bench_scalability,
     "flat": bench_flat,
     "messages": bench_messages,
     "churn": bench_churn,
+    "serve": bench_serve,
 }
 
 

@@ -14,6 +14,9 @@ Commands
                record / report / flame / compare
 ``verify``     protocol verification: AST lint, small-scope model checking,
                offline happens-before checking of recorded traces
+``serve``      run the tree as real OS processes over TCP (``--chaos`` kills
+               and restarts processes mid-run); merges the per-process
+               traces and re-verifies them offline
 
 Workload traces can be saved/loaded as JSONL (``ratio --save/--load``), and
 ``trace record`` exports the full telemetry event stream the same way, so
@@ -719,6 +722,146 @@ def cmd_verify_causal(args) -> int:
     return 0 if report.ok else 1
 
 
+# ---------------------------------------------------------------- serve
+def cmd_serve_node(args) -> int:
+    """Internal: one node process of a live cluster (spawned by ``serve``)."""
+    from repro.net.server import serve_node
+
+    return serve_node(args.config, args.proc, args.incarnation)
+
+
+def cmd_serve(args) -> int:
+    """Run the tree as real OS processes over TCP, drive a workload, then
+    merge the per-process traces and re-verify them offline."""
+    import asyncio
+    import pathlib
+    import random
+
+    from repro.net.cluster import ClusterConfig, ClusterSupervisor
+    from repro.net.merge import merge_run_dir, verify_merged
+    from repro.obs.export import _dump_line
+    from repro.workloads.requests import COMBINE, WRITE
+
+    tree = make_tree(args.topology, args.nodes, args.seed)
+    run_dir = pathlib.Path(args.run_dir)
+    config = ClusterConfig.for_tree(
+        tree,
+        run_dir,
+        nodes_per_proc=args.nodes_per_proc,
+        policy=args.policy,
+        lease_ttl=args.lease_ttl,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+
+    async def drive():
+        sup = ClusterSupervisor(config)
+        await sup.start()
+        rng = random.Random(args.seed)
+        victims: list = []
+        kill_at = restart_at = None
+        if args.chaos:
+            k = min(2, max(1, len(config.procs) - 1))
+            victims = rng.sample(config.procs, k)
+            kill_at = args.length // 3
+            restart_at = (2 * args.length) // 3
+        dead: set = set()
+        writes = combines = 0
+        try:
+            for i in range(args.length):
+                if kill_at is not None and i == kill_at:
+                    for p in victims:
+                        await sup.kill_proc(p)
+                        dead.add(p)
+                if restart_at is not None and i == restart_at:
+                    for p in victims:
+                        await sup.restart_proc(p)
+                        dead.discard(p)
+                node = rng.randrange(config.n)
+                is_write = rng.random() < args.write_ratio
+                if dead and not is_write and rng.random() < 0.7:
+                    is_write = True  # bound the dead-window combine timeouts
+                timeout = args.chaos_timeout if dead else args.req_timeout
+                try:
+                    if is_write:
+                        writes += 1
+                        await sup.submit(
+                            node, WRITE, arg=rng.uniform(-10.0, 10.0),
+                            timeout=timeout,
+                        )
+                    else:
+                        combines += 1
+                        await sup.submit(node, COMBINE, timeout=timeout)
+                except (RuntimeError, TimeoutError, ConnectionError, OSError) as exc:
+                    sup.failed.append({
+                        "req": None, "node": node,
+                        "op": WRITE if is_write else COMBINE,
+                        "error": str(exc),
+                    })
+        finally:
+            settled = await sup.quiesce(timeout=args.quiesce_timeout)
+            await sup.shutdown()
+        return sup, settled, writes, combines, victims
+
+    sup, settled, writes, combines, victims = asyncio.run(drive())
+
+    events, files, synthesized = merge_run_dir(run_dir)
+    merged_path = run_dir / "merged.jsonl"
+    with open(merged_path, "w") as fh:
+        for ev in events:
+            fh.write(_dump_line(ev) + "\n")
+    verdict = verify_merged(events, n_nodes=config.n)
+
+    completed_combines = sum(
+        1 for r in sup.results if r.get("op") == COMBINE and "value" in r
+    )
+    failed_combines = sum(1 for r in sup.failed if r.get("op") == COMBINE)
+    combines_accounted = completed_combines + failed_combines == combines
+    ok = bool(verdict["ok"] and settled and combines_accounted)
+    summary = {
+        "nodes": config.n,
+        "procs": len(config.procs),
+        "chaos": bool(args.chaos),
+        "victims": sorted(victims),
+        "requests": args.length,
+        "writes": writes,
+        "combines": combines,
+        "completed_combines": completed_combines,
+        "failed_requests": len(sup.failed),
+        "settled": settled,
+        "trace_files": files,
+        "merged": str(merged_path),
+        "merged_events": len(events),
+        "synthesized_losses": synthesized,
+        "verify": verdict,
+        "ok": ok,
+    }
+    (run_dir / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"serve: {config.n} nodes across {len(config.procs)} processes "
+              f"({'chaos: killed ' + ', '.join(victims) if victims else 'no chaos'})")
+        print(f"  requests: {writes} writes + {combines} combines "
+              f"({completed_combines} combines completed, "
+              f"{len(sup.failed)} requests failed)")
+        print(f"  merged {len(events)} events from {len(files)} trace files "
+              f"({synthesized} crash losses synthesized) -> {merged_path}")
+        causal = verdict["causal"]
+        print(f"  verify: causal {'OK' if causal['ok'] else 'FAIL'} "
+              f"({causal['combines_checked']} combines checked), "
+              f"monitors {'OK' if not verdict['monitor_violations'] else 'FAIL'}")
+        for v in causal["violations"]:
+            print(f"  VIOLATION [{v['kind']}] {v['message']}", file=sys.stderr)
+        for v in verdict["monitor_violations"]:
+            print(f"  VIOLATION [monitor] {v}", file=sys.stderr)
+        if not settled:
+            print("  WARNING: cluster did not settle before shutdown",
+                  file=sys.stderr)
+    return 0 if ok else 1
+
+
 # ---------------------------------------------------------------- perf
 def _load_profile(path: str) -> dict:
     try:
@@ -1108,6 +1251,39 @@ def build_parser() -> argparse.ArgumentParser:
                     help="tree size (default: inferred from the trace)")
     vp.add_argument("--json", action="store_true")
     vp.set_defaults(fn=cmd_verify_causal)
+
+    p = sub.add_parser("serve",
+                       help="run the tree as real OS processes over TCP and "
+                            "re-verify the merged traces offline")
+    add_common(p)
+    p.add_argument("--nodes-per-proc", type=int, default=1,
+                   help="node automata hosted per OS process")
+    p.add_argument("--policy", default="rww",
+                   help="rww | always | never | ab:a,b")
+    p.add_argument("--length", type=int, default=40,
+                   help="number of write/combine requests to drive")
+    p.add_argument("--write-ratio", type=float, default=0.6)
+    p.add_argument("--lease-ttl", type=float, default=2.0,
+                   help="wall-clock lease TTL seconds (expiry sweep)")
+    p.add_argument("--checkpoint-interval", type=float, default=1.0,
+                   help="wall-clock seconds between durable checkpoints")
+    p.add_argument("--chaos", action="store_true",
+                   help="SIGKILL two processes mid-run and restart them")
+    p.add_argument("--run-dir", required=True,
+                   help="directory for traces, checkpoints and the summary")
+    p.add_argument("--req-timeout", type=float, default=30.0)
+    p.add_argument("--chaos-timeout", type=float, default=6.0,
+                   help="request timeout while processes are down")
+    p.add_argument("--quiesce-timeout", type=float, default=30.0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("serve-node",
+                       help=argparse.SUPPRESS)
+    p.add_argument("--config", required=True)
+    p.add_argument("--proc", required=True)
+    p.add_argument("--incarnation", type=int, default=0)
+    p.set_defaults(fn=cmd_serve_node)
 
     return parser
 

@@ -166,6 +166,7 @@ class NodeRuntime(RuntimeTelemetry):
         recovery: Optional[Any] = None,
         profiler: Optional[PerfProfiler] = None,
         cost_accounting: bool = False,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.tree = tree
         self.op = op
@@ -205,7 +206,12 @@ class NodeRuntime(RuntimeTelemetry):
         )
         self._ghost = ghost
         self.node_cls = node_cls
-        self._clock = self._read_clock if self.sim is not None else None
+        #: Node timestamp source: an explicit live clock domain (external
+        #: transports — wall/hybrid clocks) wins, else the virtual clock,
+        #: else the sequential model's constant 0.0.
+        self._clock = clock if clock is not None else (
+            self._read_clock if self.sim is not None else None
+        )
         self.crashed: set = set()
         self._failure_listeners: List[Callable[[List[Request]], None]] = []
         for i in tree.nodes():
@@ -250,8 +256,13 @@ class NodeRuntime(RuntimeTelemetry):
     # ------------------------------------------------------------------ clock
     @property
     def now(self) -> float:
-        """Current virtual time (0.0 under the synchronous transport)."""
-        return self.sim.now if self.sim is not None else 0.0
+        """Current time: virtual under a simulator, the injected live
+        clock under an external transport, 0.0 in the sequential model."""
+        if self.sim is not None:
+            return self.sim.now
+        if self._clock is not None:
+            return self._clock()
+        return 0.0
 
     def drain(self) -> None:
         """Run the transport to quiescence.

@@ -1,0 +1,166 @@
+"""Canonical wire codec for the lease-mechanism messages.
+
+Every :class:`~repro.core.messages.Message` subclass has an entry in
+:data:`_ENCODERS` / :data:`_DECODERS`, keyed by class and by ``kind``
+string respectively.  Completeness is enforced statically by the
+``protolint`` rule PL102 (mirroring PL101's dispatch-coverage rule): a new
+message type without a codec entry fails ``python -m repro verify lint``
+before it can ever reach a socket.
+
+The encoding reuses the JSONL trace machinery's conventions
+(:func:`repro.obs.export._jsonify` canonicalization): frozensets become
+sorted lists, tuples become lists, and payload dicts are emitted with
+sorted keys so a frame's bytes are a pure function of the message value.
+Ghost ``wlog`` snapshots (Section 5 instrumentation) carry
+:class:`~repro.workloads.requests.Request` entries; they round-trip
+faithfully, though the live deployment never enables ghosts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.core.messages import Message, Probe, Release, Response, Revoke, Update
+from repro.workloads.requests import Request
+
+
+def _request_to_dict(req: Request) -> Dict[str, Any]:
+    return {
+        "node": req.node,
+        "op": req.op,
+        "arg": req.arg,
+        "retval": req.retval,
+        "index": req.index,
+        "initiated_at": req.initiated_at,
+        "completed_at": req.completed_at,
+        "scope": req.scope,
+        "failed": req.failed,
+    }
+
+
+def _request_from_dict(d: Dict[str, Any]) -> Request:
+    return Request(
+        node=d["node"],
+        op=d["op"],
+        arg=d.get("arg"),
+        retval=d.get("retval"),
+        index=d.get("index", -1),
+        initiated_at=d.get("initiated_at", 0.0),
+        completed_at=d.get("completed_at", 0.0),
+        scope=d.get("scope"),
+        failed=d.get("failed", False),
+    )
+
+
+def _wlog_to_list(wlog: Optional[Tuple[Any, ...]]) -> Optional[list]:
+    if wlog is None:
+        return None
+    return [_request_to_dict(r) for r in wlog]
+
+
+def _wlog_from_list(data: Optional[list]) -> Optional[Tuple[Any, ...]]:
+    if data is None:
+        return None
+    return tuple(_request_from_dict(d) for d in data)
+
+
+# --------------------------------------------------------------- per-class
+def _encode_probe(m: Probe) -> Dict[str, Any]:
+    return {}
+
+
+def _decode_probe(d: Dict[str, Any]) -> Probe:
+    return Probe()
+
+
+def _encode_response(m: Response) -> Dict[str, Any]:
+    return {"x": m.x, "flag": m.flag, "wlog": _wlog_to_list(m.wlog)}
+
+
+def _decode_response(d: Dict[str, Any]) -> Response:
+    return Response(x=d["x"], flag=d["flag"], wlog=_wlog_from_list(d.get("wlog")))
+
+
+def _encode_update(m: Update) -> Dict[str, Any]:
+    return {"x": m.x, "id": m.id, "wlog": _wlog_to_list(m.wlog)}
+
+
+def _decode_update(d: Dict[str, Any]) -> Update:
+    return Update(x=d["x"], id=d["id"], wlog=_wlog_from_list(d.get("wlog")))
+
+
+def _encode_revoke(m: Revoke) -> Dict[str, Any]:
+    return {}
+
+
+def _decode_revoke(d: Dict[str, Any]) -> Revoke:
+    return Revoke()
+
+
+def _encode_release(m: Release) -> Dict[str, Any]:
+    return {"S": sorted(m.S)}
+
+
+def _decode_release(d: Dict[str, Any]) -> Release:
+    return Release(S=frozenset(d["S"]))
+
+
+#: Class -> field encoder.  PL102 statically checks this dict covers every
+#: ``Message`` subclass in ``core/messages.py`` (keys must be plain class
+#: names, mirroring the ``_DISPATCH`` registration checked by PL101).
+_ENCODERS: Dict[Type[Message], Callable[[Any], Dict[str, Any]]] = {
+    Probe: _encode_probe,
+    Response: _encode_response,
+    Update: _encode_update,
+    Revoke: _encode_revoke,
+    Release: _encode_release,
+}
+
+#: Kind string -> field decoder (the inverse registry).
+_DECODERS: Dict[str, Callable[[Dict[str, Any]], Message]] = {
+    Probe().kind: _decode_probe,
+    Response(x=None, flag=False).kind: _decode_response,
+    Update(x=None, id=0).kind: _decode_update,
+    Revoke().kind: _decode_revoke,
+    Release(S=frozenset()).kind: _decode_release,
+}
+
+
+def encode_message(message: Message) -> Dict[str, Any]:
+    """Encode a message to its canonical JSON-ready dict (with ``kind``)."""
+    enc = _ENCODERS.get(type(message))
+    if enc is None:
+        raise TypeError(
+            f"no wire codec for {type(message).__name__}; add an entry to "
+            "repro.net.codec._ENCODERS (PL102 enforces this)"
+        )
+    body = enc(message)
+    body["kind"] = message.kind
+    return body
+
+
+def decode_message(data: Dict[str, Any]) -> Message:
+    """Decode a dict produced by :func:`encode_message`."""
+    kind = data.get("kind")
+    dec = _DECODERS.get(kind)
+    if dec is None:
+        raise ValueError(f"unknown message kind on the wire: {kind!r}")
+    return dec(data)
+
+
+def dumps_message(message: Message) -> str:
+    """Canonical JSON text for one message (sorted keys, no whitespace)."""
+    return json.dumps(encode_message(message), sort_keys=True, separators=(",", ":"))
+
+
+def loads_message(text: str) -> Message:
+    return decode_message(json.loads(text))
+
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "dumps_message",
+    "loads_message",
+]

@@ -1,0 +1,209 @@
+"""Offline merge + verification of per-process JSONL traces.
+
+A live run leaves one trace file per process *incarnation*
+(``trace-<proc>.<inc>.jsonl``) plus the supervisor's own stream
+(``trace-supervisor.jsonl`` — ``node_crash`` / ``node_recover`` marks and
+the final ``quiescent`` event).  This module merges them back into one
+happens-before-consistent event sequence and runs the exact same offline
+checkers the simulator uses: :func:`repro.verify.causal.check_trace` and
+the lemma monitors of :mod:`repro.obs.monitors`.
+
+**Merge order.**  Every process stamps events with its hybrid logical
+clock (:class:`~repro.net.clock.HybridClock`): per process strictly
+monotone, and every wire frame carries the sender's stamp which the
+receiver folds in before stamping the delivery.  Sorting the union by
+``(time, file, line)`` therefore puts every delivery after its send and
+preserves each process's emission order — exactly the property
+``check_trace`` needs.
+
+**Loss synthesis.**  A SIGKILLed process takes its queued frames with it;
+unlike the simulator there is no omniscient channel to announce the
+casualties.  They are reconstructed here instead: sends and deliveries
+carry per-directed-edge ``seq`` numbers and the sender's ``inc``arnation,
+so an exact FIFO match identifies every send that never delivered.  For
+edges that a crash touched, a ``delivery_failed`` event is synthesized per
+casualty — inserted *before* the first delivery of a later send on that
+edge (so the checker's FIFO matcher retires the right send) and after the
+``node_crash`` that explains it (so the delivery-contract monitor excuses
+rather than flags it).  Unmatched sends on edges **no** crash touched are
+left alone: those are real bugs and must surface as violations.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.export import event_from_dict
+from repro.obs.monitors import all_violations, attach_standard_monitors
+from repro.ops.monoid import AggregationOperator
+from repro.ops.standard import SUM
+from repro.sim.trace import TraceEvent, TraceLog
+from repro.verify.causal import check_trace
+
+Edge = Tuple[int, int]
+
+
+def load_events(path) -> List[TraceEvent]:
+    """Load one JSONL trace, tolerating a torn final line (SIGKILL mid-write)."""
+    events: List[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # torn tail of a killed process
+    return events
+
+
+def merge_traces(paths: Sequence[Any]) -> List[TraceEvent]:
+    """Merge per-process traces into one HLC-ordered event sequence."""
+    keyed: List[Tuple[float, int, int, TraceEvent]] = []
+    for fi, path in enumerate(sorted(str(p) for p in paths)):
+        for li, ev in enumerate(load_events(path)):
+            keyed.append((ev.time, fi, li, ev))
+    keyed.sort(key=lambda k: (k[0], k[1], k[2]))
+    return [k[3] for k in keyed]
+
+
+def _stamped(ev: TraceEvent) -> Optional[Tuple[int, int]]:
+    """The (incarnation, seq) stamp of a send/deliver event, if present."""
+    seq = ev.detail.get("seq")
+    inc = ev.detail.get("inc")
+    if isinstance(seq, int) and isinstance(inc, int):
+        return (inc, seq)
+    return None
+
+
+def synthesize_losses(events: List[TraceEvent]) -> Tuple[List[TraceEvent], int]:
+    """Insert ``delivery_failed`` events for crash casualties (see module doc).
+
+    Returns the augmented event list and the number of synthesized events.
+    """
+    sends: Dict[Edge, List[Tuple[int, Tuple[int, int], str]]] = {}
+    delivers: Dict[Edge, List[Tuple[int, Tuple[int, int]]]] = {}
+    crashed_at: Dict[int, List[int]] = {}  # node -> indices of its crashes
+    last_quiescent: Optional[int] = None
+    for i, ev in enumerate(events):
+        if ev.kind == "send":
+            stamp = _stamped(ev)
+            if stamp is not None:
+                edge = (ev.node, ev.detail["dst"])
+                sends.setdefault(edge, []).append((i, stamp, ev.detail["msg"]))
+        elif ev.kind == "deliver":
+            stamp = _stamped(ev)
+            if stamp is not None:
+                edge = (ev.detail["src"], ev.node)
+                delivers.setdefault(edge, []).append((i, stamp))
+        elif ev.kind == "node_crash":
+            crashed_at.setdefault(ev.node, []).append(i)
+        elif ev.kind == "quiescent":
+            last_quiescent = i
+
+    insertions: List[Tuple[int, TraceEvent]] = []
+    for edge in sorted(sends):
+        src, dst = edge
+        if src not in crashed_at and dst not in crashed_at:
+            continue  # losses here would be real bugs: let the checkers flag them
+        delivered = {stamp for _, stamp in delivers.get(edge, [])}
+        for send_idx, stamp, msg in sends[edge]:
+            if stamp in delivered:
+                continue
+            # Before the first delivery of a LATER send on this edge (edge
+            # deliveries arrive in stamp order, so this is also after every
+            # earlier send's delivery)...
+            bound = len(events) if last_quiescent is None else last_quiescent
+            for d_idx, d_stamp in delivers.get(edge, []):
+                if d_stamp > stamp:
+                    bound = min(bound, d_idx)
+                    break
+            # ... and after a crash of an edge endpoint when one fits, so
+            # the delivery-contract monitor sees the excuse first.
+            ins = bound
+            crash_idxs = crashed_at.get(src, []) + crashed_at.get(dst, [])
+            if not any(c < ins for c in crash_idxs):
+                after = min((c for c in crash_idxs if c >= send_idx), default=None)
+                if after is not None and after + 1 <= bound:
+                    ins = after + 1
+            when = events[ins - 1].time if ins > 0 else events[send_idx].time
+            insertions.append((
+                ins,
+                TraceEvent(
+                    time=when,
+                    kind="delivery_failed",
+                    node=src,
+                    detail={
+                        "dst": dst,
+                        "msg": msg,
+                        "seq": stamp[1],
+                        "inc": stamp[0],
+                        "attempts": 0,
+                        "synthesized": True,
+                    },
+                ),
+            ))
+
+    if not insertions:
+        return events, 0
+    insertions.sort(key=lambda item: item[0])
+    out: List[TraceEvent] = []
+    cursor = 0
+    for ins, ev in insertions:
+        out.extend(events[cursor:ins])
+        out.append(ev)
+        cursor = ins
+    out.extend(events[cursor:])
+    return out, len(insertions)
+
+
+def merge_run_dir(run_dir) -> Tuple[List[TraceEvent], List[str], int]:
+    """Merge every ``trace-*.jsonl`` under a serve run directory.
+
+    Returns ``(events, trace_files, synthesized_losses)`` with loss
+    synthesis already applied.
+    """
+    run_dir = pathlib.Path(run_dir)
+    files = sorted(str(p) for p in run_dir.glob("trace-*.jsonl"))
+    events = merge_traces(files)
+    events, synthesized = synthesize_losses(events)
+    return events, files, synthesized
+
+
+def verify_merged(
+    events: Sequence[TraceEvent],
+    op: AggregationOperator = SUM,
+    n_nodes: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run ``check_trace`` + the lemma monitors over a merged event sequence.
+
+    Monitors run in collect mode (``strict=False``); the returned summary
+    has ``ok`` true iff neither family found a violation.
+    """
+    report = check_trace(list(events), op=op, n_nodes=n_nodes)
+    log = TraceLog(enabled=True)
+    monitors = attach_standard_monitors(log, strict=False)
+    for ev in events:
+        log.emit(ev.time, ev.kind, ev.node, **ev.detail)
+    monitor_violations = all_violations(monitors)
+    return {
+        "events": len(events),
+        "causal": report.to_dict(),
+        "monitor_violations": [str(v) for v in monitor_violations],
+        "monitors": {
+            m.name: {"ok": m.ok, "violations": len(m.violations)} for m in monitors
+        },
+        "ok": report.ok and not monitor_violations,
+    }
+
+
+__all__ = [
+    "load_events",
+    "merge_traces",
+    "synthesize_losses",
+    "merge_run_dir",
+    "verify_merged",
+]

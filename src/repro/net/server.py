@@ -1,0 +1,530 @@
+"""`NodeServer`: one OS process hosting a slice of the aggregation tree.
+
+Each server process owns:
+
+* the **hosted** :class:`~repro.core.mechanism.LeaseNode` automata (one or
+  more node ids from the :class:`~repro.net.cluster.ClusterConfig`
+  assignment), driven unmodified — the automaton cannot tell sockets from
+  the simulator;
+* an :class:`~repro.net.transport.AsyncioTransport` built through the
+  transport seam (``TransportConfig.external("asyncio")``): hosted-to-
+  hosted messages loop back through the asyncio event loop, everything else
+  is framed onto a per-peer-process TCP connection;
+* a per-process **JSONL trace stream**
+  (``trace-<proc>.<incarnation>.jsonl``), flushed line-per-event so a
+  SIGKILL loses at most one partial line (the merge tool tolerates torn
+  tails);
+* **wall-clock lease TTL sweeps** mirroring
+  :class:`~repro.recovery.manager.RecoveryManager`: the existing
+  :class:`~repro.recovery.lease_ttl.LeaseExpiry` abstraction renewed by
+  trace traffic, expiring taken leases before granted ones (the same
+  holder-first grace), plus the stuck-round re-probe pacing;
+* **durable checkpoints** (:class:`~repro.recovery.checkpoint.Checkpoint`
+  pickled per node) captured every ``checkpoint_interval`` seconds; a
+  restarted incarnation restores them and runs
+  :meth:`LeaseNode.recover_reconcile` before serving;
+* per-process **metrics** (the standard
+  :class:`~repro.obs.metrics.MetricsBridge` over the trace), dumped to
+  ``metrics-<proc>.<incarnation>.json`` at shutdown.
+
+Messages to a peer that is down are *dropped after a short dial grace* —
+exactly the simulator's crash semantics, where
+``ReliableNetwork.reset_edges_for`` declares unacked segments lost.  The
+loss shows up offline: the merge tool FIFO-matches the ``seq``/``inc``
+stamps and synthesizes ``delivery_failed`` events on crash-touched edges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+from collections import deque
+from functools import partial
+from typing import Any, Dict, Optional, Set
+
+from repro.core.mechanism import LeaseNode
+from repro.core.messages import Probe
+from repro.core.runtime import Router
+from repro.net.cluster import ClusterConfig, policy_factory_for
+from repro.net.clock import HybridClock, WallClock
+from repro.net.codec import decode_message
+from repro.net.transport import (
+    AsyncioTransport,
+    message_frame,
+    read_frame,
+    write_frame,
+)
+from repro.obs.export import _dump_line
+from repro.obs.metrics import MetricsBridge, MetricsRegistry
+from repro.ops.standard import SUM
+from repro.recovery.checkpoint import Checkpoint, CheckpointStore
+from repro.recovery.lease_ttl import LeaseExpiry
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceLog
+from repro.sim.transport import TransportConfig, build_transport
+from repro.workloads.requests import COMBINE, WRITE, Request
+
+#: How long a dead peer's dial is retried before frames are dropped as
+#: losses (the live analog of the sim's declared-lost unacked segments).
+DIAL_GRACE = 0.25
+
+
+class _TraceStreamer:
+    """Trace subscriber appending one flushed JSONL line per event."""
+
+    def __init__(self, path) -> None:
+        self.fh = open(path, "w")
+        self.count = 0
+        #: Event count excluding periodic housekeeping (checkpoints) — the
+        #: supervisor's quiescence poll compares this across rounds, and a
+        #: checkpoint tick must not read as protocol activity.
+        self.activity = 0
+
+    def __call__(self, ev: Any) -> None:
+        self.fh.write(_dump_line(ev) + "\n")
+        self.fh.flush()
+        self.count += 1
+        if ev.kind != "checkpoint":
+            self.activity += 1
+
+    def close(self) -> None:
+        try:
+            self.fh.close()
+        except Exception:
+            pass
+
+
+class NodeServer:
+    """Hosts the ``proc`` slice of a cluster on one asyncio event loop."""
+
+    def __init__(self, config: ClusterConfig, proc: str, incarnation: int = 0) -> None:
+        self.config = config
+        self.proc = proc
+        self.incarnation = incarnation
+        self.hosted: Set[int] = set(config.assignment[proc])
+        self.tree = config.tree
+        self.hlc = HybridClock()
+        self.wall = WallClock(self.hlc)
+        self.stats = MessageStats()
+        self.trace = TraceLog(enabled=True)
+        self.metrics = MetricsRegistry()
+        self.trace.subscribe(MetricsBridge(self.metrics))
+        import pathlib
+
+        self.run_dir = pathlib.Path(config.run_dir)
+        self.streamer = _TraceStreamer(
+            self.run_dir / f"trace-{proc}.{incarnation}.jsonl"
+        )
+        self.trace.subscribe(self.streamer)
+        self.router = Router()
+        self.nodes: Dict[int, LeaseNode] = {}
+        self.transport: Optional[AsyncioTransport] = None
+        self.store = CheckpointStore()
+        self.expiry = LeaseExpiry(config.lease_ttl)
+        self.trace.subscribe(self._renew_on_traffic)
+        self._round_seen: Dict[Any, float] = {}
+        self._reprobed: Dict[Any, float] = {}
+        self._out_queues: Dict[str, deque] = {}
+        self._out_wake: Dict[str, asyncio.Event] = {}
+        self._down_until: Dict[str, float] = {}
+        self._stopping = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: list = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ---------------------------------------------------------------- setup
+    def _build_nodes(self) -> None:
+        assert self._loop is not None
+        self.transport = build_transport(
+            TransportConfig.external(
+                "asyncio",
+                options={
+                    "clock": self.hlc.tick,
+                    "local_nodes": self.hosted,
+                    "remote_send": self._remote_send,
+                    "incarnation": self.incarnation,
+                    "loop": self._loop,
+                },
+            ),
+            self.tree,
+            receiver=self.router.route,
+            stats=self.stats,
+            trace=self.trace,
+        )
+        policy_factory = policy_factory_for(self.config.policy)
+        for nid in sorted(self.hosted):
+            node = LeaseNode(
+                nid,
+                self.tree,
+                SUM,
+                policy_factory(),
+                send=partial(self.transport.send, nid),
+                trace=self.trace,
+                clock=self.hlc.tick,
+            )
+            self.nodes[nid] = node
+            self.router.add(node)
+
+    def _recover_from_checkpoints(self) -> None:
+        """A restarted incarnation restores durable checkpoints, then runs
+        the reconciliation round (Release(∅) + Revoke per neighbor, fresh
+        probes) — identical to the simulator's recovery path."""
+        for nid, node in sorted(self.nodes.items()):
+            cp_path = self.run_dir / f"checkpoint-n{nid}.pkl"
+            if cp_path.exists():
+                try:
+                    cp: Checkpoint = pickle.loads(cp_path.read_bytes())
+                    cp.restore(node)
+                except Exception:
+                    pass  # torn checkpoint (killed mid-write): start fresh
+            node.recover_reconcile(reestablish=True)
+        now = self.wall.now
+        for nid in self.hosted:
+            for v in self.tree.neighbors(nid):
+                self.expiry.renew((nid, v), now)
+                self.expiry.renew((v, nid), now)
+
+    # -------------------------------------------------------------- lease TTL
+    def _renew_on_traffic(self, ev: Any) -> None:
+        # Mirrors RecoveryManager._on_trace: traffic in either direction
+        # renews the edge's lease timers.
+        if ev.kind in ("recv", "deliver"):
+            src = ev.detail.get("src")
+            if src is not None and src >= 0:
+                self.expiry.renew((ev.node, src), ev.time)
+        elif ev.kind == "send":
+            dst = ev.detail.get("dst")
+            if dst is not None and dst >= 0:
+                self.expiry.renew((ev.node, dst), ev.time)
+        elif ev.kind == "lease_acquired":
+            self.expiry.renew((ev.node, ev.detail["source"]), ev.time)
+        elif ev.kind == "lease_granted":
+            self.expiry.renew((ev.node, ev.detail["grantee"]), ev.time)
+
+    def _sweep_body(self) -> None:
+        """Wall-clock twin of RecoveryManager._sweep_body for the hosted
+        nodes: expire silent peers' leases (holder before granter) and
+        re-probe stuck rounds, paced at one per TTL per edge."""
+        now = self.wall.now
+        ttl = self.config.lease_ttl
+        grace = ttl / 2
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            for v in list(node.nbrs):
+                if node.taken.get(v, False) and not self.expiry.alive((nid, v), now):
+                    node.expire_taken(v)
+                    self.metrics.counter(
+                        "lease_expirations_total", node=nid, side="taken"
+                    ).inc()
+                if node.granted.get(v, False) and not self.expiry.alive(
+                    (nid, v), now - grace
+                ):
+                    node.expire_granted(v)
+                    self.metrics.counter(
+                        "lease_expirations_total", node=nid, side="granted"
+                    ).inc()
+            for root in sorted(node.pndg):
+                first = self._round_seen.setdefault((nid, root), now)
+                if now - first < ttl:
+                    continue
+                for w in sorted(node.snt.get(root, ())):
+                    last = self._reprobed.get((nid, w))
+                    if last is not None and now - last < ttl:
+                        continue
+                    self._reprobed[(nid, w)] = now
+                    self.trace.emit(self.hlc.tick(), "reprobe", nid, dst=w, root=root)
+                    node.send(w, Probe())
+        self._round_seen = {
+            key: t0
+            for key, t0 in self._round_seen.items()
+            if key[0] in self.nodes and key[1] in self.nodes[key[0]].pndg
+        }
+
+    async def _sweep_task(self) -> None:
+        step = self.config.lease_ttl / 2
+        while not self._stopping.is_set():
+            try:
+                await asyncio.wait_for(self._stopping.wait(), timeout=step)
+                return
+            except asyncio.TimeoutError:
+                pass
+            self._sweep_body()
+
+    # ------------------------------------------------------------ checkpoints
+    def _checkpoint_now(self) -> None:
+        now = self.wall.now
+        for nid, node in sorted(self.nodes.items()):
+            cp = Checkpoint.capture(node, self.store.next_seq(nid), now)
+            self.store.save(cp)
+            data = pickle.dumps(cp)
+            cp_path = self.run_dir / f"checkpoint-n{nid}.pkl"
+            tmp = cp_path.with_suffix(".pkl.tmp")
+            tmp.write_bytes(data)
+            tmp.replace(cp_path)
+            self.trace.emit(self.hlc.tick(), "checkpoint", nid, seq=cp.seq)
+            self.metrics.counter("checkpoints_total", node=nid).inc()
+
+    async def _checkpoint_task(self) -> None:
+        step = self.config.checkpoint_interval
+        while not self._stopping.is_set():
+            try:
+                await asyncio.wait_for(self._stopping.wait(), timeout=step)
+                return
+            except asyncio.TimeoutError:
+                pass
+            self._checkpoint_now()
+
+    # ----------------------------------------------------------- remote egress
+    def _remote_send(self, src: int, dst: int, message: Any, seq: int) -> None:
+        peer = self.config.proc_of(dst)
+        frame = message_frame(src, dst, message, seq, self.incarnation, self.hlc.tick())
+        self._out_queues[peer].append(frame)
+        self._out_wake[peer].set()
+
+    async def _dial(
+        self, peer: str
+    ) -> Optional[tuple]:
+        host, port = self.config.addr(peer)
+        deadline = time.monotonic() + DIAL_GRACE
+        while time.monotonic() < deadline:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except (ConnectionError, OSError):
+                await asyncio.sleep(0.03)
+                continue
+            write_frame(
+                writer,
+                {"type": "hello", "proc": self.proc, "inc": self.incarnation},
+            )
+            # Drain the peer's frames too: it may answer nothing, but a
+            # torn connection surfaces as EOF on the reader — the writer
+            # task checks ``reader.at_eof()`` before every frame, because a
+            # write into a connection whose peer already died buffers
+            # silently (the reset only fails the write *after* the lost
+            # one).
+            self._tasks.append(asyncio.ensure_future(self._sink(reader)))
+            return reader, writer
+        return None
+
+    @staticmethod
+    async def _sink(reader: asyncio.StreamReader) -> None:
+        while await read_frame(reader) is not None:
+            pass
+
+    async def _writer_task(self, peer: str) -> None:
+        queue = self._out_queues[peer]
+        wake = self._out_wake[peer]
+        reader: Optional[asyncio.StreamReader] = None
+        writer: Optional[asyncio.StreamWriter] = None
+        while True:
+            if not queue:
+                wake.clear()
+                if self._stopping.is_set():
+                    break
+                stop = asyncio.ensure_future(self._stopping.wait())
+                got = asyncio.ensure_future(wake.wait())
+                await asyncio.wait({stop, got}, return_when=asyncio.FIRST_COMPLETED)
+                stop.cancel()
+                got.cancel()
+                continue
+            if writer is not None and reader is not None and reader.at_eof():
+                # The peer hung up (SIGKILL delivers a FIN): a write on this
+                # connection would buffer without erroring and the frame
+                # would silently vanish.  Re-dial — the peer may already be
+                # back under a new incarnation.
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+                reader = writer = None
+            if writer is None:
+                if time.monotonic() < self._down_until.get(peer, 0.0):
+                    queue.popleft()  # peer is down: the frame is a loss
+                    continue
+                conn = await self._dial(peer)
+                if conn is None:
+                    self._down_until[peer] = time.monotonic() + DIAL_GRACE
+                    continue
+                reader, writer = conn
+            frame = queue[0]
+            try:
+                write_frame(writer, frame)
+                await writer.drain()
+                queue.popleft()
+            except (ConnectionError, OSError):
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+                reader = writer = None
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------- inbound
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                break
+            ftype = frame.get("type")
+            if ftype == "msg":
+                self.hlc.observe(frame.get("hlc", 0.0))
+                assert self.transport is not None
+                self.transport.deliver_remote(
+                    frame["src"], frame["dst"],
+                    decode_message(frame["m"]),
+                    frame["seq"], frame["inc"],
+                )
+            elif ftype == "req":
+                self._handle_request(frame, writer)
+            elif ftype == "status":
+                self._send_status(writer)
+            elif ftype == "hello":
+                self.hlc.observe(frame.get("hlc", 0.0))
+                peer = frame.get("proc")
+                if peer in self._down_until:
+                    # The peer dialed us: it is demonstrably back up.  Stop
+                    # treating its queued frames as crash losses; frames its
+                    # reconcile round triggers (probe -> grant Response) must
+                    # be delivered, or lease symmetry is stuck asymmetric
+                    # until the next TTL sweep touches the edge.
+                    del self._down_until[peer]
+                    if peer in self._out_wake:
+                        self._out_wake[peer].set()
+            elif ftype == "shutdown":
+                self._stopping.set()
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    def _reply(self, writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+        try:
+            write_frame(writer, frame)
+            self._tasks.append(asyncio.ensure_future(writer.drain()))
+        except (ConnectionError, OSError):
+            pass  # requester went away; the protocol state is still valid
+
+    def _handle_request(self, frame: Dict[str, Any], writer: asyncio.StreamWriter) -> None:
+        req_id = frame["req"]
+        node_id = frame["node"]
+        op = frame["op"]
+        if node_id not in self.hosted:
+            self._reply(writer, {"type": "req_done", "req": req_id,
+                                 "error": f"node {node_id} not hosted by {self.proc}",
+                                 "hlc": self.hlc.tick()})
+            return
+        node = self.nodes[node_id]
+        m0 = self.stats.total
+        start = self.hlc.tick()
+        if op == WRITE:
+            request = Request(node_id, WRITE, arg=frame.get("arg"),
+                              initiated_at=start)
+            self.trace.emit(start, "write_begin", node_id, req=req_id)
+            node.write(request)
+            end = self.hlc.tick()
+            self.trace.emit(
+                end, "span", node_id,
+                req=req_id, op=WRITE, start=start, end=end,
+                messages=self.stats.total - m0, overlapped=True, value=None,
+                failure=None,
+            )
+            self._reply(writer, {"type": "req_done", "req": req_id, "op": WRITE,
+                                 "node": node_id, "value": None,
+                                 "hlc": self.hlc.tick()})
+            return
+        if op == COMBINE:
+            request = Request(node_id, COMBINE, initiated_at=start)
+            self.trace.emit(start, "combine_begin", node_id, req=req_id)
+
+            def on_complete(done: Request) -> None:
+                end = self.hlc.tick()
+                self.trace.emit(
+                    end, "span", node_id,
+                    req=req_id, op=COMBINE, start=start, end=end,
+                    messages=self.stats.total - m0, overlapped=True,
+                    value=done.retval, failure=None,
+                )
+                self._reply(writer, {"type": "req_done", "req": req_id,
+                                     "op": COMBINE, "node": node_id,
+                                     "value": done.retval,
+                                     "hlc": self.hlc.tick()})
+
+            node.begin_combine(request, on_complete)
+            return
+        self._reply(writer, {"type": "req_done", "req": req_id,
+                             "error": f"unknown op {op!r}",
+                             "hlc": self.hlc.tick()})
+
+    def _send_status(self, writer: asyncio.StreamWriter) -> None:
+        assert self.transport is not None
+        pending_out = sum(len(q) for q in self._out_queues.values())
+        open_rounds = sum(len(n.pndg) for n in self.nodes.values())
+        self._reply(writer, {
+            "type": "status_reply",
+            "proc": self.proc,
+            "inc": self.incarnation,
+            "idle": self.transport.is_quiescent() and pending_out == 0,
+            "pending_out": pending_out,
+            "open_rounds": open_rounds,
+            "events": self.streamer.activity,
+            "hlc": self.hlc.tick(),
+        })
+
+    # ----------------------------------------------------------------- main
+    async def run(self) -> None:
+        """Serve until a ``shutdown`` frame arrives."""
+        self._loop = asyncio.get_running_loop()
+        self._build_nodes()
+        peers = sorted(p for p in self.config.procs if p != self.proc)
+        for peer in peers:
+            self._out_queues[peer] = deque()
+            self._out_wake[peer] = asyncio.Event()
+        host, port = self.config.addr(self.proc)
+        self._server = await asyncio.start_server(self._serve_conn, host, port)
+        writer_tasks = [
+            asyncio.ensure_future(self._writer_task(peer)) for peer in peers
+        ]
+        if self.incarnation > 0:
+            self._recover_from_checkpoints()
+        sweeper = asyncio.ensure_future(self._sweep_task())
+        checkpointer = asyncio.ensure_future(self._checkpoint_task())
+        await self._stopping.wait()
+        # Final durable checkpoint, then tear down.
+        self._checkpoint_now()
+        await asyncio.gather(sweeper, checkpointer, return_exceptions=True)
+        # Let outbound queues flush briefly before closing.
+        for _ in range(50):
+            if all(not q for q in self._out_queues.values()):
+                break
+            await asyncio.sleep(0.02)
+        for task in writer_tasks + self._tasks:
+            task.cancel()
+        await asyncio.gather(*writer_tasks, *self._tasks, return_exceptions=True)
+        self._server.close()
+        await self._server.wait_closed()
+        metrics_path = self.run_dir / f"metrics-{self.proc}.{self.incarnation}.json"
+        import json as _json
+
+        metrics_path.write_text(
+            _json.dumps(self.metrics.to_dict(), indent=2, sort_keys=True, default=str)
+            + "\n"
+        )
+        self.streamer.close()
+
+
+def serve_node(config_path: str, proc: str, incarnation: int) -> int:
+    """Entry point for ``python -m repro serve-node`` (one node process)."""
+    config = ClusterConfig.load(config_path)
+    server = NodeServer(config, proc, incarnation)
+    asyncio.run(server.run())
+    return 0
+
+
+__all__ = ["NodeServer", "serve_node", "DIAL_GRACE"]

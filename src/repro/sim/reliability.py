@@ -49,7 +49,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.sim.channel import LatencyModel
 from repro.sim.faults import FaultLog, FaultPlan, FaultyNetwork
 from repro.sim.network import Receiver
-from repro.sim.scheduler import Simulator, Timer
+from repro.sim.scheduler import SimClock, Simulator, Timer
 from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceLog
 from repro.tree.topology import Tree
@@ -212,11 +212,18 @@ class ReliableNetwork:
         trace: Optional[TraceLog] = None,
         metrics=None,
         profiler=None,
+        clock=None,
     ) -> None:
         self.tree = tree
         self.sim = sim
         self._receiver = receiver
         self.config = config
+        #: The clock domain driving retransmission timeouts and trace
+        #: timestamps (``now`` + ``timer()`` — the same shape
+        #: ``LeaseExpiry`` consumers pass ``now`` values from).  Defaults
+        #: to :class:`~repro.sim.scheduler.SimClock` over ``sim``, which is
+        #: byte-identical to the historical hard-coded virtual-time path.
+        self.clock = clock if clock is not None else SimClock(sim)
         self.stats = stats if stats is not None else MessageStats()
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         #: Optional :class:`repro.obs.metrics.MetricsRegistry` receiving
@@ -273,10 +280,10 @@ class ReliableNetwork:
             raise ValueError(f"({src}, {dst}) is not a tree edge; cannot send")
         kind = getattr(message, "kind", type(message).__name__.lower())
         self.stats.record(src, dst, kind)  # goodput: once per logical message
-        self.trace.emit(self.sim.now, "send", src, dst=dst, msg=kind)
+        self.trace.emit(self.clock.now, "send", src, dst=dst, msg=kind)
         seq = self._next_seq[edge]
         self._next_seq[edge] = seq + 1
-        out = _Outgoing(seq, message, kind, Timer(self.sim), self.config.base_timeout)
+        out = _Outgoing(seq, message, kind, self.clock.timer(), self.config.base_timeout)
         self._unacked[edge][seq] = out
         self._transmit(edge, out, first=True)
 
@@ -363,12 +370,12 @@ class ReliableNetwork:
                 self.summary.give_ups += 1
                 self.failures.append(
                     DeliveryFailure(
-                        time=self.sim.now, src=src, dst=dst,
+                        time=self.clock.now, src=src, dst=dst,
                         seq=seq, message_kind=out.message_kind, attempts=out.retries,
                     )
                 )
                 self.trace.emit(
-                    self.sim.now, "delivery_failed", src,
+                    self.clock.now, "delivery_failed", src,
                     dst=dst, msg=out.message_kind, seq=seq, attempts=out.retries,
                 )
             self._unacked[edge] = {}
@@ -421,7 +428,7 @@ class ReliableNetwork:
                 if self.metrics is not None:
                     self.metrics.counter("retransmits_total", src=src, dst=dst).inc()
                 self.trace.emit(
-                    self.sim.now, "retransmit", src,
+                    self.clock.now, "retransmit", src,
                     dst=dst, msg=out.message_kind, seq=out.seq, attempt=out.retries,
                 )
             self.inner.send(
@@ -447,12 +454,12 @@ class ReliableNetwork:
             src, dst = edge
             self.failures.append(
                 DeliveryFailure(
-                    time=self.sim.now, src=src, dst=dst,
+                    time=self.clock.now, src=src, dst=dst,
                     seq=out.seq, message_kind=out.message_kind, attempts=out.retries,
                 )
             )
             self.trace.emit(
-                self.sim.now, "delivery_failed", src,
+                self.clock.now, "delivery_failed", src,
                 dst=dst, msg=out.message_kind, seq=out.seq, attempts=out.retries,
             )
             self._restart_conversation(edge)
@@ -486,7 +493,7 @@ class ReliableNetwork:
         self._reorder[edge].clear()
         self._unacked[edge] = {}
         self.trace.emit(
-            self.sim.now, "conversation_restart", src,
+            self.clock.now, "conversation_restart", src,
             dst=dst, epoch=self._epoch[edge], resent=len(survivors),
         )
         for out in survivors:
@@ -519,7 +526,7 @@ class ReliableNetwork:
             # declared when the edge was reset.
             self.stats.record_overhead(src, dst, "stale_epoch")
             self.trace.emit(
-                self.sim.now, "dup_suppressed", dst, src=src, seq=frame.seq,
+                self.clock.now, "dup_suppressed", dst, src=src, seq=frame.seq,
                 stale_epoch=True,
             )
             return
@@ -531,7 +538,7 @@ class ReliableNetwork:
             # suppress, but re-ACK so the sender can stop retransmitting.
             self.summary.duplicates_suppressed += 1
             self.stats.record_overhead(src, dst, "duplicate")
-            self.trace.emit(self.sim.now, "dup_suppressed", dst, src=src, seq=seq)
+            self.trace.emit(self.clock.now, "dup_suppressed", dst, src=src, seq=seq)
             self._send_ack(edge)
             return
         buffer[seq] = frame.payload
@@ -545,7 +552,7 @@ class ReliableNetwork:
             payload = buffer.pop(self._expected[edge])
             self._expected[edge] += 1
             kind = getattr(payload, "kind", type(payload).__name__.lower())
-            self.trace.emit(self.sim.now, "deliver", dst, src=src, msg=kind)
+            self.trace.emit(self.clock.now, "deliver", dst, src=src, msg=kind)
             self._receiver(src, dst, payload)
         if self.metrics is not None:
             self.metrics.gauge("reorder_buffer_depth", src=src, dst=dst).set(len(buffer))

@@ -220,3 +220,32 @@ class Timer:
             self._event.cancel()
             self._event = None
         self._action = None
+
+
+class SimClock:
+    """The virtual-time clock domain: ``now`` plus a :class:`Timer` factory.
+
+    A *clock domain* is the pair of primitives time-dependent subsystems
+    need — a monotone ``now`` and cancellable one-shot timers — abstracted
+    away from where time comes from.  :class:`~repro.sim.reliability.ReliableNetwork`
+    retransmission timeouts and the recovery layer's
+    ``LeaseExpiry`` TTLs both consume this shape; under simulation it is
+    backed by a :class:`Simulator` (this class), and the live asyncio
+    deployment (:mod:`repro.net`) provides a wall-clock implementation with
+    the same interface.  Passing no clock anywhere preserves the historical
+    behavior exactly: ``SimClock(sim)`` is pure delegation.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    @property
+    def now(self) -> float:
+        """Current time in this domain (virtual time of the simulator)."""
+        return self.sim.now
+
+    def timer(self) -> Timer:
+        """A fresh cancellable one-shot :class:`Timer` in this domain."""
+        return Timer(self.sim)

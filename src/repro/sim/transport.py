@@ -31,8 +31,9 @@ quiescence), and ``stats`` / ``trace`` attributes.
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
-from typing import Any, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.sim.channel import LatencyModel
 from repro.sim.faults import FaultPlan, FaultyNetwork
@@ -43,8 +44,33 @@ from repro.sim.stats import MessageStats
 from repro.sim.trace import TraceLog
 from repro.tree.topology import Tree
 
-#: Anything :func:`build_transport` can return.
-Transport = Union[SynchronousNetwork, Network, FaultyNetwork, ReliableNetwork]
+#: Anything :func:`build_transport` can return.  External kinds (see
+#: :func:`register_transport_kind`) may return any object honoring the
+#: shared transport interface.
+Transport = Union[SynchronousNetwork, Network, FaultyNetwork, ReliableNetwork, Any]
+
+#: Registry of externally provided transport stacks, keyed by
+#: :attr:`TransportConfig.kind`.  A factory has the same signature as
+#: :func:`build_transport` minus ``config`` being first.  Plugins register
+#: themselves on import; :data:`_KIND_MODULES` lets :func:`build_transport`
+#: lazily import the providing module by dotted name the first time a kind
+#: is requested, so the sim layer never *statically* imports upper layers
+#: (the PL301 inversion is preserved — this is a plugin seam, not a
+#: dependency).
+_EXTERNAL_KINDS: Dict[str, Callable[..., Any]] = {}
+_KIND_MODULES: Dict[str, str] = {"asyncio": "repro.net"}
+
+
+def register_transport_kind(kind: str, factory: Callable[..., Any]) -> None:
+    """Register an external transport stack under ``kind``.
+
+    ``factory(config, tree, receiver, *, sim, seed, stats, trace, metrics,
+    profiler)`` must return an object implementing the shared transport
+    interface (``send`` / ``sender`` / ``is_quiescent`` / ``set_topology`` /
+    ``stats`` / ``trace``).  Called by plugin packages at import time —
+    :mod:`repro.net` registers ``"asyncio"``.
+    """
+    _EXTERNAL_KINDS[kind] = factory
 
 
 @dataclass(frozen=True)
@@ -71,6 +97,15 @@ class TransportConfig:
         Seed for the transport's latency RNG streams.  ``None`` inherits
         the engine's seed (the engines preserve the historical convention:
         plain transports use ``seed``, fault-injected ones ``seed + 1``).
+    kind:
+        ``"builtin"`` selects one of the four in-repo stacks above;
+        any other value names an externally registered stack (see
+        :func:`register_transport_kind`) — e.g. ``"asyncio"`` for the
+        live socket transport of :mod:`repro.net`.  External kinds run on
+        their own clock domain and need no :class:`Simulator`.
+    options:
+        Kind-specific configuration object handed verbatim to the external
+        factory.  Unused by builtin stacks.
     """
 
     synchronous: bool = True
@@ -78,6 +113,8 @@ class TransportConfig:
     plan: Optional[FaultPlan] = None
     reliability: Optional[ReliabilityConfig] = None
     seed: Optional[int] = None
+    kind: str = "builtin"
+    options: Any = None
 
     def __post_init__(self) -> None:
         if self.synchronous and (
@@ -89,6 +126,23 @@ class TransportConfig:
                 "the synchronous transport has no virtual clock; latency, "
                 "fault and reliability layers need TransportConfig.simulated()"
             )
+        if self.kind != "builtin" and (
+            self.latency is not None
+            or self.plan is not None
+            or self.reliability is not None
+        ):
+            raise ValueError(
+                "external transport kinds bring their own wire; the "
+                "latency/fault/reliability layers are builtin-only"
+            )
+
+    @classmethod
+    def external(cls, kind: str, options: Any = None) -> "TransportConfig":
+        """An externally registered stack (e.g. ``"asyncio"``), running on
+        its own clock domain — no :class:`Simulator` involved."""
+        if kind == "builtin":
+            raise ValueError("'builtin' is not an external kind")
+        return cls(synchronous=False, kind=kind, options=options)
 
     @classmethod
     def simulated(
@@ -112,11 +166,13 @@ class TransportConfig:
     @property
     def needs_sim(self) -> bool:
         """Whether the stack runs under a :class:`Simulator` clock."""
-        return not self.synchronous
+        return not self.synchronous and self.kind == "builtin"
 
     @property
     def layers(self) -> "tuple[str, ...]":
         """The stack bottom-up, for diagnostics and docs."""
+        if self.kind != "builtin":
+            return (self.kind,)
         if self.synchronous:
             return ("synchronous",)
         stack = ["latency"]
@@ -160,6 +216,21 @@ def build_transport(
         the reliable layer's retransmit path consumes it.
     """
     transport_seed = config.seed if config.seed is not None else seed
+    if config.kind != "builtin":
+        factory = _EXTERNAL_KINDS.get(config.kind)
+        if factory is None and config.kind in _KIND_MODULES:
+            importlib.import_module(_KIND_MODULES[config.kind])
+            factory = _EXTERNAL_KINDS.get(config.kind)
+        if factory is None:
+            raise ValueError(
+                f"unknown transport kind {config.kind!r}; registered: "
+                f"{sorted(_EXTERNAL_KINDS) or '(none)'}"
+            )
+        return factory(
+            config, tree, receiver,
+            sim=sim, seed=transport_seed, stats=stats, trace=trace,
+            metrics=metrics, profiler=profiler,
+        )
     if config.synchronous:
         return SynchronousNetwork(tree, receiver, stats=stats, trace=trace)
     if sim is None:
@@ -200,4 +271,9 @@ def build_transport(
     )
 
 
-__all__ = ["Transport", "TransportConfig", "build_transport"]
+__all__ = [
+    "Transport",
+    "TransportConfig",
+    "build_transport",
+    "register_transport_kind",
+]

@@ -46,6 +46,17 @@ precedes are *excluded*, and anything between is optional (concurrent).
 The combine's value must be achievable as the operator product of one
 choice per node — decided by an achievable-value set DP (exact for SUM;
 floats compared after rounding).
+
+**Crash-touched nodes.**  A node with a ``node_crash`` event anywhere in
+the trace gets a *relaxed* candidate set: every one of its writes (and
+no-write) is admissible for every combine, except writes the combine's
+completion precedes.  This is forced by crash semantics, not a shortcut —
+a restart restores the last durable checkpoint, so writes applied after
+it are legitimately rolled back, and while the node is down its peers
+expire its leases and serve combines that exclude its whole subtree.
+Which of those histories a given combine observed cannot be recovered
+from the trace alone, so inclusion is genuinely optional.  Crash-free
+traces keep the strict lower-bound rule on every node.
 """
 
 from __future__ import annotations
@@ -153,6 +164,7 @@ def check_trace(
     writes: Dict[int, List[_Write]] = {}
     begins: Dict[int, Dict[int, int]] = {}  # req -> payload clock at begin
     combines: List[_Combine] = []
+    crashed: set = set()  # nodes whose writes get the relaxed candidate rule
     max_node = -1
 
     def tick(node: int) -> Tuple[Dict[int, int], Dict[int, int]]:
@@ -268,6 +280,10 @@ def check_trace(
                         comp_own=full[ev.node],
                     )
                 )
+        elif ev.kind == "node_crash":
+            crashed.add(ev.node)
+            if ev.node >= 0:
+                tick(ev.node)
         elif ev.node >= 0:
             tick(ev.node)
 
@@ -285,7 +301,7 @@ def check_trace(
         if c.begin_pay is None:
             continue  # initiation not in the trace window
         report.combines_checked += 1
-        _check_combine(c, writes, total_nodes, op, report)
+        _check_combine(c, writes, total_nodes, op, report, crashed)
     return report
 
 
@@ -293,10 +309,20 @@ def _candidates(
     c: _Combine,
     node_writes: List[_Write],
     begin_pay: Dict[int, int],
+    relaxed: bool = False,
 ) -> List[Any]:
     """Admissible contributions of one node to combine ``c``: the value of
     the latest payload-visible write, any newer non-excluded write, or
-    no-write when nothing was mandatorily visible."""
+    no-write when nothing was mandatorily visible.  ``relaxed`` (crash-
+    touched nodes) drops the lower bound: checkpoint rollback and dead-
+    window subtree exclusion make every inclusion optional."""
+    if relaxed:
+        out: List[Any] = [None]
+        for w in node_writes:
+            if c.comp_own is not None and w.full.get(c.node, 0) >= c.comp_own:
+                continue  # the combine completed before this write happened
+            out.append(w.arg)
+        return out
     mandatory = sum(1 for w in node_writes if w.pay_own <= begin_pay.get(w.node, 0))
     out: List[Any] = [] if mandatory else [None]
     for j, w in enumerate(node_writes):
@@ -314,6 +340,7 @@ def _check_combine(
     n_nodes: int,
     op: AggregationOperator,
     report: CausalReport,
+    crashed: Optional[set] = None,
 ) -> None:
     assert c.begin_pay is not None
 
@@ -325,7 +352,10 @@ def _check_combine(
 
     achievable: Dict[Any, Any] = {key(op.identity): op.identity}
     for node in range(n_nodes):
-        cands = _candidates(c, writes.get(node, []), c.begin_pay)
+        cands = _candidates(
+            c, writes.get(node, []), c.begin_pay,
+            relaxed=bool(crashed) and node in crashed,
+        )
         step: Dict[Any, Any] = {}
         for acc in achievable.values():
             for a in cands:

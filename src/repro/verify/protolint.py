@@ -6,6 +6,8 @@ nearly broken) by past refactors:
 =======  ==============================================================
 PL000    file does not parse (reported, never crashes the linter)
 PL101    ``Message`` subclass with no ``LeaseNode._DISPATCH`` handler
+PL102    ``Message`` subclass with no wire-codec entry in
+         ``repro.net.codec._ENCODERS`` (it could never cross a socket)
 PL201    ``emit`` call site uses an event kind not in ``EVENT_SCHEMAS``
 PL202    ``emit`` call site omits a required detail field of its kind
 PL301    layering: ``sim/`` imports from ``repro.core``
@@ -210,6 +212,79 @@ def _lint_dispatch(
                     hint=(
                         "register a handler for it in the _DISPATCH.update({...}) "
                         "block at the bottom of core/mechanism.py"
+                    ),
+                )
+            )
+
+
+# ------------------------------------------------------ PL102: wire codec
+def _codec_registered_names(module: ast.Module) -> Optional[Set[str]]:
+    """Class names keyed in the ``_ENCODERS`` dict literal of
+    ``net/codec.py`` (``None`` when the dict is not statically readable)."""
+    for node in ast.walk(module):
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.target.id == "_ENCODERS":
+                value = node.value
+        elif isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "_ENCODERS" for t in node.targets):
+                value = node.value
+        if value is None:
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        names: Set[str] = set()
+        for k in value.keys:
+            if isinstance(k, ast.Name):
+                names.add(k.id)
+            elif isinstance(k, ast.Attribute):
+                names.add(k.attr)
+            else:
+                return None
+        return names
+    return None
+
+
+def _lint_codec(
+    package_root: Path, project_root: Optional[Path], findings: List[Finding]
+) -> None:
+    """PL102 — the live-deployment twin of PL101: every concrete message
+    class needs a wire codec, or it silently cannot cross a socket."""
+    messages_py = package_root / "core" / "messages.py"
+    codec_py = package_root / "net" / "codec.py"
+    if not messages_py.is_file() or not codec_py.is_file():
+        return
+    msg_mod = _parse(messages_py, _rel(messages_py, project_root), findings)
+    codec_mod = _parse(codec_py, _rel(codec_py, project_root), findings)
+    if msg_mod is None or codec_mod is None:
+        return
+    classes = _message_classes(msg_mod)
+    registered = _codec_registered_names(codec_mod)
+    if registered is None:
+        findings.append(
+            Finding(
+                code="PL102",
+                path=_rel(codec_py, project_root),
+                line=1,
+                message="_ENCODERS is not a literal {ClassName: encoder} dict",
+                hint="keep the codec registry statically analyzable "
+                "(plain class-name keys)",
+            )
+        )
+        return
+    for name, (lineno, _) in sorted(classes.items()):
+        if name == "Message" or not _derives_from_message(name, classes):
+            continue
+        if name not in registered:
+            findings.append(
+                Finding(
+                    code="PL102",
+                    path=_rel(messages_py, project_root),
+                    line=lineno,
+                    message=f"message class {name} has no wire codec entry",
+                    hint=(
+                        "add an encode/decode pair for it to _ENCODERS / "
+                        "_DECODERS in net/codec.py"
                     ),
                 )
             )
@@ -442,6 +517,7 @@ def run_lint(
             project_root = candidate
     findings: List[Finding] = []
     _lint_dispatch(package_root, project_root, findings)
+    _lint_codec(package_root, project_root, findings)
     _lint_emit_sites(package_root, project_root, findings)
     _lint_layering(package_root, project_root, findings)
     extra = [package_root]

@@ -2,10 +2,35 @@
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import random
 from typing import List
 
 import pytest
+
+try:  # pragma: no cover - environment probe
+    import pytest_asyncio  # noqa: F401
+
+    _HAVE_PYTEST_ASYNCIO = True
+except ImportError:
+    _HAVE_PYTEST_ASYNCIO = False
+
+
+if not _HAVE_PYTEST_ASYNCIO:
+    # Minimal stand-in for pytest-asyncio (a dev extra some environments
+    # lack): run ``async def`` test functions through ``asyncio.run`` so
+    # tests/test_net.py executes identically either way.  When the real
+    # plugin is installed it takes over and this hook never fires.
+    @pytest.hookimpl(tryfirst=True)
+    def pytest_pyfunc_call(pyfuncitem):
+        fn = pyfuncitem.obj
+        if not inspect.iscoroutinefunction(fn):
+            return None
+        argnames = pyfuncitem._fixtureinfo.argnames
+        kwargs = {name: pyfuncitem.funcargs[name] for name in argnames}
+        asyncio.run(fn(**kwargs))
+        return True
 
 from repro.tree import (
     Tree,
