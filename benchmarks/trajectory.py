@@ -220,6 +220,30 @@ def bench_serve(quick: bool) -> Dict[str, Any]:
             "p99_ms": round(percentile(samples, 0.99) * 1e3, 3)}
 
 
+def bench_explore(quick: bool) -> Dict[str, Any]:
+    """Model-checker states visited per second on the pinned 3-node/4-op
+    scope (derived POR independence, the `verify explore` default).  The
+    state/transition counts ride along as exactness pins: a POR change
+    that silently shrinks or inflates the explored space shows up here
+    even when the throughput stays flat."""
+    from repro.tree.generators import path_tree
+    from repro.verify.explore import Explorer, default_script
+
+    passes = 1 if quick else 3
+    best_dt, result = float("inf"), None
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        result = Explorer(path_tree(3), default_script(3, 4)).run()
+        best_dt = min(best_dt, time.perf_counter() - t0)
+    assert result is not None
+    if not result.ok:
+        raise SystemExit("explore bench: pinned scope found violations")
+    return {"throughput": result.states / best_dt, "unit": "states/sec",
+            "states": result.states, "transitions": result.transitions,
+            "reduction_ratio": round(result.reduction_ratio, 4),
+            "independence": "derived"}
+
+
 BENCHES = {
     "dispatch": bench_dispatch,
     "scalability": bench_scalability,
@@ -227,6 +251,7 @@ BENCHES = {
     "messages": bench_messages,
     "churn": bench_churn,
     "serve": bench_serve,
+    "explore": bench_explore,
 }
 
 

@@ -667,6 +667,7 @@ def cmd_verify_explore(args) -> int:
             policy_factory=factory,
             max_states=args.max_states,
             backend=args.backend,
+            independence=args.independence,
         )
     except ValueError as exc:
         raise SystemExit(f"verify explore: {exc}")
@@ -675,9 +676,11 @@ def cmd_verify_explore(args) -> int:
         data = result.to_dict()
         data["script"] = [str(s) for s in script]
         data["policy"] = name
+        data["independence"] = args.independence
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(f"explore {args.topology}/{tree.n} nodes, policy {name}, "
+              f"independence {args.independence}, "
               f"script [{', '.join(str(s) for s in script)}]:")
         print(f"  states explored:      {result.states}")
         print(f"  transitions executed: {result.transitions}")
@@ -695,6 +698,48 @@ def cmd_verify_explore(args) -> int:
             print("  all interleavings consistent: lemmas, causal, "
                   "strict-on-serial, no deadlock")
     return 0 if result.ok else 1
+
+
+def cmd_verify_effects(args) -> int:
+    """The extracted protocol reaction graph + derived POR independence —
+    the one source of truth the model checker, lint and docs consume."""
+    from repro.verify.effects import (
+        check_reaction,
+        derived_independence,
+        reaction_graph_json,
+    )
+
+    if args.json:
+        print(reaction_graph_json())
+        return 0 if not check_reaction() else 1
+    from repro.verify.effects import extract_reaction_graph
+
+    graph = extract_reaction_graph()
+    indep = derived_independence()
+    findings = check_reaction()
+    for kind in sorted(graph.core):
+        eff = graph.core[kind]
+        sends = ", ".join(
+            f"{k}→{'/'.join(roles)}" for k, roles in eff.sends
+        ) or "—"
+        print(f"on {kind}:")
+        print(f"  sends:  {sends}")
+        print(f"  emits:  {', '.join(sorted(eff.emits)) or '—'}")
+        print(f"  reads:  {', '.join(sorted(eff.reads))}")
+        print(f"  writes: {', '.join(sorted(eff.writes))}")
+    indep_desc = (
+        "node-local — deliveries at distinct nodes commute"
+        if indep.node_local
+        else "DEGRADED to full dependence"
+    )
+    print(f"independence: {indep_desc}")
+    for item in indep.unknown_effects:
+        print(f"  non-local effect: {item}", file=sys.stderr)
+    for f in findings:
+        print(f"  {f}", file=sys.stderr)
+    print(f"reaction graph: {len(findings)} finding(s)"
+          if findings else "reaction graph: clean (matches reaction_spec)")
+    return 1 if findings else 0
 
 
 def cmd_verify_causal(args) -> int:
@@ -1240,8 +1285,22 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["reference", "flat"],
                     help="execution backend to explore (flat = vectorized "
                          "engine, checked against the same oracles)")
+    vp.add_argument("--independence", default="derived",
+                    choices=["derived", "hand"],
+                    help="POR independence relation: derived from the "
+                         "static effect analysis (default) or the "
+                         "original hand-coded one")
     vp.add_argument("--json", action="store_true")
     vp.set_defaults(fn=cmd_verify_explore)
+
+    vp = vsub.add_parser("effects",
+                         help="extracted protocol reaction graph, PL50x "
+                              "spec check, and the derived POR "
+                              "independence relation")
+    vp.add_argument("--json", action="store_true",
+                    help="full reaction-graph artifact "
+                         "(reaction_graph.json for CI)")
+    vp.set_defaults(fn=cmd_verify_effects)
 
     vp = vsub.add_parser("causal",
                          help="offline happens-before check of a recorded "

@@ -28,7 +28,11 @@ import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
+
+#: Upper bound on any single control-socket await (drain): a wedged node
+#: process surfaces as an error, never as a hung supervisor (PL603).
+CTRL_IO_TIMEOUT = 10.0
 
 from repro.core.policies import AlwaysLeasePolicy, NeverLeasePolicy, RWWPolicy
 from repro.net.clock import HybridClock
@@ -41,7 +45,7 @@ from repro.tree.topology import Tree
 SYSTEM_NODE = -1
 
 
-def policy_factory_for(spec: str):
+def policy_factory_for(spec: str) -> Callable[[], Any]:
     """Parse a policy spec (``rww | always | never | ab:a,b``) into a
     zero-argument factory — the serve-mode subset of the CLI's specs."""
     if spec == "rww":
@@ -61,7 +65,8 @@ def policy_factory_for(spec: str):
 
 def free_ports(count: int, host: str = "127.0.0.1") -> List[int]:
     """OS-assigned free TCP ports (bound briefly, then released)."""
-    socks, ports = [], []
+    socks: List[socket.socket] = []
+    ports: List[int] = []
     try:
         for _ in range(count):
             s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -200,12 +205,17 @@ class _ProcClient:
     """One control connection to a node process, with a reader task that
     resolves request/status futures."""
 
-    def __init__(self, name: str, reader, writer) -> None:
+    def __init__(
+        self,
+        name: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         self.name = name
         self.reader = reader
         self.writer = writer
-        self.req_futures: Dict[int, asyncio.Future] = {}
-        self.status_waiters: List[asyncio.Future] = []
+        self.req_futures: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self.status_waiters: List["asyncio.Future[Dict[str, Any]]"] = []
         self.task = asyncio.ensure_future(self._read_loop())
 
     async def _read_loop(self) -> None:
@@ -244,12 +254,12 @@ class ClusterSupervisor:
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         self.run_dir = pathlib.Path(config.run_dir)
-        self.procs: Dict[str, subprocess.Popen] = {}
+        self.procs: Dict[str, "subprocess.Popen[bytes]"] = {}
         self.incarnations: Dict[str, int] = {p: 0 for p in config.procs}
         self.clients: Dict[str, _ProcClient] = {}
         self.hlc = HybridClock()
         self._next_req = 0
-        self._trace_fh = None
+        self._trace_fh: Optional[TextIO] = None
         self.results: List[Dict[str, Any]] = []
         self.failed: List[Dict[str, Any]] = []
 
@@ -309,15 +319,18 @@ class ClusterSupervisor:
                     f"becoming ready (see {self.run_dir}/proc-{proc}.*.log)"
                 )
             try:
-                reader, writer = await asyncio.open_connection(host, port)
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port),
+                    timeout=max(deadline - time.monotonic(), 0.05),
+                )
                 write_frame(writer, {"type": "hello", "proc": "supervisor", "inc": 0})
-                await writer.drain()
+                await asyncio.wait_for(writer.drain(), CTRL_IO_TIMEOUT)
                 client = _ProcClient(proc, reader, writer)
                 self.clients[proc] = client
                 # One status round-trip proves the server loop is live.
                 await self._status(client)
                 return client
-            except (ConnectionError, OSError) as exc:
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
                 last_exc = exc
                 await asyncio.sleep(0.05)
         raise TimeoutError(f"process {proc} not ready after {timeout}s: {last_exc}")
@@ -333,7 +346,9 @@ class ClusterSupervisor:
         self._next_req += 1
         proc = self.config.proc_of(node)
         client = await self._connect(proc)
-        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        fut: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
         client.req_futures[req_id] = fut
         write_frame(
             client.writer,
@@ -342,7 +357,7 @@ class ClusterSupervisor:
                 "arg": arg, "hlc": self.hlc.tick(),
             },
         )
-        await client.writer.drain()
+        await asyncio.wait_for(client.writer.drain(), CTRL_IO_TIMEOUT)
         try:
             frame = await asyncio.wait_for(fut, timeout)
         except (asyncio.TimeoutError, ConnectionError) as exc:
@@ -355,10 +370,12 @@ class ClusterSupervisor:
         return frame
 
     async def _status(self, client: _ProcClient) -> Dict[str, Any]:
-        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        fut: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
         client.status_waiters.append(fut)
         write_frame(client.writer, {"type": "status"})
-        await client.writer.drain()
+        await asyncio.wait_for(client.writer.drain(), CTRL_IO_TIMEOUT)
         frame = await asyncio.wait_for(fut, 10.0)
         self.hlc.observe(frame.get("hlc", 0.0))
         return frame
@@ -370,9 +387,9 @@ class ClusterSupervisor:
         counts for ``stable_polls`` consecutive rounds."""
         deadline = time.monotonic() + timeout
         stable = 0
-        last_sig: Optional[Tuple] = None
+        last_sig: Optional[Tuple[Any, ...]] = None
         while time.monotonic() < deadline:
-            sigs = []
+            sigs: List[Tuple[Any, ...]] = []
             idle = True
             for proc in self.config.procs:
                 try:
@@ -426,8 +443,8 @@ class ClusterSupervisor:
         for proc, client in list(self.clients.items()):
             try:
                 write_frame(client.writer, {"type": "shutdown"})
-                await client.writer.drain()
-            except (ConnectionError, OSError):
+                await asyncio.wait_for(client.writer.drain(), CTRL_IO_TIMEOUT)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
                 pass
         deadline = time.monotonic() + 10.0
         for proc, child in self.procs.items():

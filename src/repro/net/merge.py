@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.export import event_from_dict
 from repro.obs.monitors import all_violations, attach_standard_monitors
@@ -45,7 +45,7 @@ from repro.verify.causal import check_trace
 Edge = Tuple[int, int]
 
 
-def load_events(path) -> List[TraceEvent]:
+def load_events(path: Union[str, pathlib.Path]) -> List[TraceEvent]:
     """Load one JSONL trace, tolerating a torn final line (SIGKILL mid-write)."""
     events: List[TraceEvent] = []
     with open(path) as fh:
@@ -160,7 +160,9 @@ def synthesize_losses(events: List[TraceEvent]) -> Tuple[List[TraceEvent], int]:
     return out, len(insertions)
 
 
-def merge_run_dir(run_dir) -> Tuple[List[TraceEvent], List[str], int]:
+def merge_run_dir(
+    run_dir: Union[str, pathlib.Path],
+) -> Tuple[List[TraceEvent], List[str], int]:
     """Merge every ``trace-*.jsonl`` under a serve run directory.
 
     Returns ``(events, trace_files, synthesized_losses)`` with loss

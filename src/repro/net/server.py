@@ -37,11 +37,22 @@ stamps and synthesizes ``delivery_failed`` events on crash-touched edges.
 from __future__ import annotations
 
 import asyncio
+import pathlib
 import pickle
 import time
 from collections import deque
 from functools import partial
-from typing import Any, Dict, Optional, Set
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    TextIO,
+    Tuple,
+)
 
 from repro.core.mechanism import LeaseNode
 from repro.core.messages import Probe
@@ -69,12 +80,17 @@ from repro.workloads.requests import COMBINE, WRITE, Request
 #: losses (the live analog of the sim's declared-lost unacked segments).
 DIAL_GRACE = 0.25
 
+#: Upper bound on any single peer-socket await (``drain``, one dial
+#: attempt): a dead peer must surface as a reconnect, never as a wedged
+#: writer task (asynclint PL603).
+PEER_IO_TIMEOUT = 5.0
+
 
 class _TraceStreamer:
     """Trace subscriber appending one flushed JSONL line per event."""
 
-    def __init__(self, path) -> None:
-        self.fh = open(path, "w")
+    def __init__(self, path: pathlib.Path) -> None:
+        self.fh: TextIO = open(path, "w")
         self.count = 0
         #: Event count excluding periodic housekeeping (checkpoints) — the
         #: supervisor's quiescence poll compares this across rounds, and a
@@ -98,6 +114,28 @@ class _TraceStreamer:
 class NodeServer:
     """Hosts the ``proc`` slice of a cluster on one asyncio event loop."""
 
+    #: Fields deliberately mutated from more than one task (asynclint
+    #: PL604 license).  Everything runs on ONE event loop, so these are
+    #: not memory races — the hazard is interleaving across ``await``
+    #: points, and each entry's discipline rules that out:
+    #:
+    #: ``nodes``        LeaseNode mutations are synchronous call chains
+    #:                  (`_serve_conn` delivery, `_sweep_task` expiry);
+    #:                  no handler ever awaits mid-mutation, so each
+    #:                  automaton step is atomic on the loop.
+    #: ``_out_queues``  append (any sender) vs popleft (only the peer's
+    #:                  single writer task): a one-reader queue.
+    #: ``_out_wake``    Event set by producers, cleared only by the one
+    #:                  consumer.
+    #: ``_down_until``  monotonic-time marker: writer task sets it on dial
+    #:                  failure, `_serve_conn` deletes it on a hello; both
+    #:                  transitions are idempotent and self-correcting.
+    #: ``_tasks``       append-only retention list, pruned/cancelled in
+    #:                  one place (`_retain` / `run` teardown).
+    _ASYNC_SHARED: FrozenSet[str] = frozenset(
+        {"nodes", "_out_queues", "_out_wake", "_down_until", "_tasks"}
+    )
+
     def __init__(self, config: ClusterConfig, proc: str, incarnation: int = 0) -> None:
         self.config = config
         self.proc = proc
@@ -110,8 +148,6 @@ class NodeServer:
         self.trace = TraceLog(enabled=True)
         self.metrics = MetricsRegistry()
         self.trace.subscribe(MetricsBridge(self.metrics))
-        import pathlib
-
         self.run_dir = pathlib.Path(config.run_dir)
         self.streamer = _TraceStreamer(
             self.run_dir / f"trace-{proc}.{incarnation}.jsonl"
@@ -123,15 +159,21 @@ class NodeServer:
         self.store = CheckpointStore()
         self.expiry = LeaseExpiry(config.lease_ttl)
         self.trace.subscribe(self._renew_on_traffic)
-        self._round_seen: Dict[Any, float] = {}
-        self._reprobed: Dict[Any, float] = {}
-        self._out_queues: Dict[str, deque] = {}
+        self._round_seen: Dict[Tuple[int, int], float] = {}
+        self._reprobed: Dict[Tuple[int, int], float] = {}
+        self._out_queues: Dict[str, Deque[Dict[str, Any]]] = {}
         self._out_wake: Dict[str, asyncio.Event] = {}
         self._down_until: Dict[str, float] = {}
         self._stopping = asyncio.Event()
         self._server: Optional[asyncio.AbstractServer] = None
-        self._tasks: list = []
+        self._tasks: List["asyncio.Future[Any]"] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _retain(self, task: "asyncio.Future[Any]") -> None:
+        """Keep a strong reference to a background task (the event loop
+        holds only a weak one), pruning completed entries as we go."""
+        self._tasks = [t for t in self._tasks if not t.done()]
+        self._tasks.append(task)
 
     # ---------------------------------------------------------------- setup
     def _build_nodes(self) -> None:
@@ -166,15 +208,23 @@ class NodeServer:
             self.nodes[nid] = node
             self.router.add(node)
 
-    def _recover_from_checkpoints(self) -> None:
+    async def _recover_from_checkpoints(self) -> None:
         """A restarted incarnation restores durable checkpoints, then runs
         the reconciliation round (Release(∅) + Revoke per neighbor, fresh
-        probes) — identical to the simulator's recovery path."""
+        probes) — identical to the simulator's recovery path.  File reads
+        go through the executor; the node mutations stay on the loop
+        (``recover_reconcile`` sends through ``_remote_send``, which
+        touches loop-owned ``asyncio.Event``s)."""
+        loop = asyncio.get_running_loop()
         for nid, node in sorted(self.nodes.items()):
             cp_path = self.run_dir / f"checkpoint-n{nid}.pkl"
-            if cp_path.exists():
+            try:
+                data = await loop.run_in_executor(None, cp_path.read_bytes)
+            except OSError:
+                data = None  # no checkpoint yet
+            if data is not None:
                 try:
-                    cp: Checkpoint = pickle.loads(cp_path.read_bytes())
+                    cp: Checkpoint = pickle.loads(data)
                     cp.restore(node)
                 except Exception:
                     pass  # torn checkpoint (killed mid-write): start fresh
@@ -252,18 +302,36 @@ class NodeServer:
             self._sweep_body()
 
     # ------------------------------------------------------------ checkpoints
-    def _checkpoint_now(self) -> None:
+    def _capture_checkpoints(self) -> List[Tuple[pathlib.Path, bytes]]:
+        """Snapshot every hosted node *synchronously on the loop* (the
+        capture must not interleave with message delivery) and return the
+        serialized blobs for out-of-loop persistence."""
         now = self.wall.now
+        blobs: List[Tuple[pathlib.Path, bytes]] = []
         for nid, node in sorted(self.nodes.items()):
             cp = Checkpoint.capture(node, self.store.next_seq(nid), now)
             self.store.save(cp)
-            data = pickle.dumps(cp)
             cp_path = self.run_dir / f"checkpoint-n{nid}.pkl"
+            blobs.append((cp_path, pickle.dumps(cp)))
+            self.trace.emit(self.hlc.tick(), "checkpoint", nid, seq=cp.seq)
+            self.metrics.counter("checkpoints_total", node=nid).inc()
+        return blobs
+
+    @staticmethod
+    def _persist_blobs(blobs: List[Tuple[pathlib.Path, bytes]]) -> None:
+        """Write checkpoint blobs durably (tmp + rename so a SIGKILL never
+        tears a checkpoint).  Runs in the executor: pure file I/O, no
+        node or loop state touched."""
+        for cp_path, data in blobs:
             tmp = cp_path.with_suffix(".pkl.tmp")
             tmp.write_bytes(data)
             tmp.replace(cp_path)
-            self.trace.emit(self.hlc.tick(), "checkpoint", nid, seq=cp.seq)
-            self.metrics.counter("checkpoints_total", node=nid).inc()
+
+    async def _checkpoint_now(self) -> None:
+        blobs = self._capture_checkpoints()
+        if blobs:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._persist_blobs, blobs)
 
     async def _checkpoint_task(self) -> None:
         step = self.config.checkpoint_interval
@@ -273,7 +341,7 @@ class NodeServer:
                 return
             except asyncio.TimeoutError:
                 pass
-            self._checkpoint_now()
+            await self._checkpoint_now()
 
     # ----------------------------------------------------------- remote egress
     def _remote_send(self, src: int, dst: int, message: Any, seq: int) -> None:
@@ -284,13 +352,16 @@ class NodeServer:
 
     async def _dial(
         self, peer: str
-    ) -> Optional[tuple]:
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
         host, port = self.config.addr(peer)
         deadline = time.monotonic() + DIAL_GRACE
         while time.monotonic() < deadline:
             try:
-                reader, writer = await asyncio.open_connection(host, port)
-            except (ConnectionError, OSError):
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port),
+                    timeout=max(deadline - time.monotonic(), 0.01),
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError):
                 await asyncio.sleep(0.03)
                 continue
             write_frame(
@@ -303,7 +374,7 @@ class NodeServer:
             # write into a connection whose peer already died buffers
             # silently (the reset only fails the write *after* the lost
             # one).
-            self._tasks.append(asyncio.ensure_future(self._sink(reader)))
+            self._retain(asyncio.ensure_future(self._sink(reader)))
             return reader, writer
         return None
 
@@ -350,9 +421,11 @@ class NodeServer:
             frame = queue[0]
             try:
                 write_frame(writer, frame)
-                await writer.drain()
+                await asyncio.wait_for(writer.drain(), timeout=PEER_IO_TIMEOUT)
                 queue.popleft()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                # A drain timeout means the peer stopped reading (dead or
+                # wedged): treat it exactly like a reset and re-dial.
                 try:
                     writer.close()
                 except Exception:
@@ -404,10 +477,17 @@ class NodeServer:
         except Exception:
             pass
 
+    @staticmethod
+    async def _drain_quietly(writer: asyncio.StreamWriter) -> None:
+        try:
+            await asyncio.wait_for(writer.drain(), timeout=PEER_IO_TIMEOUT)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass  # requester went away; the reply is already best-effort
+
     def _reply(self, writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
         try:
             write_frame(writer, frame)
-            self._tasks.append(asyncio.ensure_future(writer.drain()))
+            self._retain(asyncio.ensure_future(self._drain_quietly(writer)))
         except (ConnectionError, OSError):
             pass  # requester went away; the protocol state is still valid
 
@@ -487,17 +567,18 @@ class NodeServer:
             self._out_queues[peer] = deque()
             self._out_wake[peer] = asyncio.Event()
         host, port = self.config.addr(self.proc)
-        self._server = await asyncio.start_server(self._serve_conn, host, port)
+        server = await asyncio.start_server(self._serve_conn, host, port)
+        self._server = server
         writer_tasks = [
             asyncio.ensure_future(self._writer_task(peer)) for peer in peers
         ]
         if self.incarnation > 0:
-            self._recover_from_checkpoints()
+            await self._recover_from_checkpoints()
         sweeper = asyncio.ensure_future(self._sweep_task())
         checkpointer = asyncio.ensure_future(self._checkpoint_task())
         await self._stopping.wait()
         # Final durable checkpoint, then tear down.
-        self._checkpoint_now()
+        await self._checkpoint_now()
         await asyncio.gather(sweeper, checkpointer, return_exceptions=True)
         # Let outbound queues flush briefly before closing.
         for _ in range(50):
@@ -507,14 +588,17 @@ class NodeServer:
         for task in writer_tasks + self._tasks:
             task.cancel()
         await asyncio.gather(*writer_tasks, *self._tasks, return_exceptions=True)
-        self._server.close()
-        await self._server.wait_closed()
+        server.close()
+        await server.wait_closed()
         metrics_path = self.run_dir / f"metrics-{self.proc}.{self.incarnation}.json"
         import json as _json
 
-        metrics_path.write_text(
+        metrics_text = (
             _json.dumps(self.metrics.to_dict(), indent=2, sort_keys=True, default=str)
             + "\n"
+        )
+        await asyncio.get_running_loop().run_in_executor(
+            None, metrics_path.write_text, metrics_text
         )
         self.streamer.close()
 

@@ -36,7 +36,7 @@ import json
 import struct
 from collections import deque
 from functools import partial
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.net.codec import decode_message, encode_message
 from repro.sim.stats import MessageStats
@@ -50,6 +50,12 @@ _LEN = struct.Struct(">I")
 #: Refuse absurd frames early (a desynced stream reads garbage lengths).
 MAX_FRAME = 16 * 1024 * 1024
 
+#: Once a frame header has arrived, the payload must follow promptly: a
+#: peer that died mid-frame must not wedge the reader forever (asynclint
+#: PL603).  Waiting *for the next header* is unbounded by design — an idle
+#: but healthy connection is legal — unless the caller passes ``timeout``.
+FRAME_PAYLOAD_TIMEOUT = 5.0
+
 
 def frame_bytes(obj: Dict[str, Any]) -> bytes:
     """Length-prefixed canonical-JSON frame for one wire object."""
@@ -62,20 +68,35 @@ def write_frame(writer: asyncio.StreamWriter, obj: Dict[str, Any]) -> None:
     writer.write(frame_bytes(obj))
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
-    """Read one frame; ``None`` on clean or torn EOF."""
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    timeout: Optional[float] = None,
+    payload_timeout: float = FRAME_PAYLOAD_TIMEOUT,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean or torn EOF.
+
+    ``timeout`` bounds the wait for the *header* (i.e. connection
+    idleness) and raises :class:`asyncio.TimeoutError` — idle policy
+    belongs to the caller.  ``payload_timeout`` bounds the header-to-
+    payload gap; a frame torn by a dying peer reads as EOF (``None``),
+    the same as a torn connection.
+    """
     try:
-        header = await reader.readexactly(_LEN.size)
+        header = await asyncio.wait_for(reader.readexactly(_LEN.size), timeout)
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
         raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME")
     try:
-        payload = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, ConnectionError):
+        payload = await asyncio.wait_for(
+            reader.readexactly(length), payload_timeout
+        )
+    except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
         return None
-    return json.loads(payload.decode())
+    frame: Dict[str, Any] = json.loads(payload.decode())
+    return frame
 
 
 def message_frame(src: int, dst: int, message: Any, seq: int, inc: int, hlc: float) -> Dict[str, Any]:
@@ -120,6 +141,13 @@ class AsyncioTransport:
         This process's spawn generation; stamped on every send.
     """
 
+    #: Multi-task mutation license (asynclint PL604): ``send`` is handed to
+    #: every hosted node as its egress callable, so any task delivering a
+    #: message appends to ``_queue`` and flips ``_pump_scheduled``; the
+    #: scheduled ``_pump`` callback pops.  Single event loop, and neither
+    #: send nor _pump awaits while touching them — each step is atomic.
+    _ASYNC_SHARED: FrozenSet[str] = frozenset({"_queue", "_pump_scheduled"})
+
     def __init__(
         self,
         tree: Tree,
@@ -151,7 +179,7 @@ class AsyncioTransport:
         # never duplicates, but a reconnect race could replay a frame; the
         # guard keeps delivery exactly-once cheaply.
         self._delivered: Dict[Edge, Tuple[int, int]] = {}
-        self._queue: deque = deque()
+        self._queue: Deque[Tuple[int, int, Any, int, int]] = deque()
         self._draining = False
         self._pump_scheduled = False
 
@@ -182,7 +210,7 @@ class AsyncioTransport:
                 )
             self._remote_send(src, dst, message, seq)
 
-    def sender(self, src: int, dst: int):
+    def sender(self, src: int, dst: int) -> Callable[[Any], None]:
         """A precomputed send callable for the directed edge ``src -> dst``."""
         if (src, dst) not in self._edges:
             raise ValueError(f"({src}, {dst}) is not a tree edge")

@@ -336,7 +336,19 @@ class Explorer:
         ``state_snapshot``/``fork`` are part of the Backend protocol for
         exactly this purpose.  Mutation testing (``node_cls``) stays
         reference-only: the flat backend has no node class to subclass.
+    independence:
+        Where the POR independence relation comes from.  ``"derived"``
+        (default) takes it from the static effect analysis
+        (:func:`repro.verify.effects.derived_independence`): the premise
+        that every handler effect is node-local is *checked against the
+        extracted reaction graph*, and if it fails the relation soundly
+        degrades to full dependence (no reduction, still exhaustive).
+        ``"hand"`` keeps the original hand-coded relation — retained for
+        the equivalence tests that pin derived == hand on the golden
+        scopes.
     """
+
+    INDEPENDENCE_MODES = ("derived", "hand")
 
     def __init__(
         self,
@@ -349,10 +361,16 @@ class Explorer:
         max_states: int = 500_000,
         max_violations: int = 10,
         backend: str = "reference",
+        independence: str = "derived",
     ) -> None:
         for spec in script:
             if not (0 <= spec.node < tree.n):
                 raise ValueError(f"script op {spec} targets a node outside the tree")
+        if independence not in self.INDEPENDENCE_MODES:
+            raise ValueError(
+                f"unknown independence mode {independence!r}; "
+                f"expected one of {self.INDEPENDENCE_MODES}"
+            )
         self.tree = tree
         self.script = script
         self.op = op
@@ -361,13 +379,24 @@ class Explorer:
         self.max_states = max_states
         self.max_violations = max_violations
         self.backend = backend
+        self.independence = independence
+        if independence == "derived":
+            from repro.verify.effects import derived_independence
+
+            self._indep: Callable[[Action, Action], bool] = (
+                derived_independence().independent
+            )
+        else:
+            self._indep = self._independent
 
     # ----------------------------------------------------------- independence
     @staticmethod
     def _independent(a: Action, b: Action) -> bool:
-        """Deliveries to distinct nodes commute exactly; everything
-        involving a request initiation is treated as dependent (the serial
-        flag is schedule-order sensitive)."""
+        """The original hand-coded relation: deliveries to distinct nodes
+        commute exactly; everything involving a request initiation is
+        treated as dependent (the serial flag is schedule-order
+        sensitive).  The derived relation (see ``independence``) must
+        prove the same — the equivalence tests compare the two."""
         return a[0] == "deliver" and b[0] == "deliver" and a[2] != b[2]
 
     # ------------------------------------------------------------------ checks
@@ -494,7 +523,7 @@ class Explorer:
                 child_sleep = frozenset(
                     b
                     for b in list(sleep) + explored
-                    if self._independent(action, b)
+                    if self._indep(action, b)
                 )
                 dfs(child, child_sleep)
                 explored.append(action)

@@ -524,5 +524,15 @@ def run_lint(
     if project_root is not None:
         extra += [project_root / "tests", project_root / "benchmarks"]
     _lint_removed_imports(extra, project_root, findings)
+    # PL50x (reaction-graph spec conformance) and PL60x (async safety)
+    # live in sibling modules; late imports keep the layering acyclic
+    # (both import Finding/_parse from here).  Each pass no-ops when its
+    # subject tree is absent, so fixture packages without flat/ or net/
+    # lint exactly as before.
+    from repro.verify.asynclint import run_async_lint
+    from repro.verify.effects import check_reaction
+
+    findings.extend(check_reaction(package_root, project_root))
+    findings.extend(run_async_lint(package_root, project_root))
     findings.sort(key=lambda f: (f.path, f.line, f.code))
     return findings

@@ -158,6 +158,32 @@ class TestFrames:
         with pytest.raises(ValueError, match="MAX_FRAME"):
             await read_frame(reader)
 
+    async def test_idle_timeout_raises_to_caller(self):
+        # Header wait (connection idleness) is bounded only on request;
+        # the timeout surfaces so idle policy stays with the caller.
+        reader = asyncio.StreamReader()
+        with pytest.raises(asyncio.TimeoutError):
+            await read_frame(reader, timeout=0.05)
+
+    async def test_torn_payload_times_out_as_eof(self):
+        # A peer that dies after the header must not wedge the reader:
+        # the payload wait is bounded and a stall reads as EOF, the same
+        # as a torn connection (asynclint PL603's dynamic twin).
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame_bytes({"type": "status"})[:5])  # header + 1 byte
+        assert await read_frame(reader, payload_timeout=0.05) is None
+
+    async def test_slow_but_live_header_wait_succeeds(self):
+        reader = asyncio.StreamReader()
+
+        async def feed_later():
+            await asyncio.sleep(0.02)
+            reader.feed_data(frame_bytes({"type": "status"}))
+
+        task = asyncio.ensure_future(feed_later())
+        assert await read_frame(reader, timeout=5.0) == {"type": "status"}
+        await task
+
     def test_message_frame_round_trip(self):
         msg = Response(x=2.0, flag=True)
         frame = message_frame(1, 0, msg, seq=4, inc=2, hlc=9.5)
